@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``test_figN_*`` module regenerates one table/figure of the paper on the
+simulated Summit (reduced ladders by default — pass ``--full-figures`` for
+the complete OSU ladder and node counts used in EXPERIMENTS.md), asserts the
+paper's qualitative shape, and reports wall-clock cost via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bench.figures import QUICK_SIZES, WEAK_NODES
+from repro.apps.osu.runner import OSU_SIZES
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-figures",
+        action="store_true",
+        default=False,
+        help="run the full OSU ladders / node counts (slow)",
+    )
+
+
+@pytest.fixture
+def osu_sizes(request):
+    return OSU_SIZES if request.config.getoption("--full-figures") else QUICK_SIZES
+
+
+@pytest.fixture
+def weak_nodes(request):
+    return WEAK_NODES if request.config.getoption("--full-figures") else (1, 4, 16)
+
+
+@pytest.fixture
+def strong_nodes(request):
+    return (8, 16, 32, 64, 128, 256) if request.config.getoption("--full-figures") else (8, 32)

@@ -1,0 +1,70 @@
+"""Design-choice ablations (DESIGN.md S6).
+
+Each bench toggles one mechanism the paper discusses and regenerates the
+affected measurement: GDRCopy detection, metadata-delayed receive posting
+(the paper's future-work item), rendezvous threshold, pipeline chunk size,
+GPUDirect-vs-staging, overdecomposition, and the AMPI 128 KB quirk.
+"""
+
+from repro.bench import figures
+from repro.config import KB, MB
+
+
+def test_ablation_gdrcopy(benchmark):
+    r = benchmark.pedantic(
+        lambda: figures.ablation_gdrcopy(sizes=[8, 256, 2 * KB]),
+        rounds=1, iterations=1,
+    )
+    # paper SIV-B1: GDRCopy detection essential for small-message latency
+    for x in (8, 256, 2 * KB):
+        assert r["off"].at(x) > 2.5 * r["on"].at(x)
+
+
+def test_ablation_early_post(benchmark):
+    r = benchmark.pedantic(
+        lambda: figures.ablation_early_post(size=1 * MB), rounds=1, iterations=1
+    )
+    # pre-posting (the future-work user-tag design) removes the metadata wait
+    assert 0 < r["penalty_us"] < 50
+
+
+def test_ablation_rndv_threshold(benchmark):
+    r = benchmark.pedantic(
+        lambda: figures.ablation_rndv_threshold(
+            thresholds=(1 * KB, 16 * KB), sizes=(512, 2 * KB, 8 * KB)
+        ),
+        rounds=1, iterations=1,
+    )
+    # with a 16 KB threshold, 8 KB messages stay eager (GDRCopy) and beat the
+    # 1 KB threshold's rendezvous at the same size? No: eager copies scale
+    # poorly; what must hold is that the curves differ only between thresholds
+    assert r[1 * KB].at(512) == r[16 * KB].at(512)
+    assert r[1 * KB].at(8 * KB) != r[16 * KB].at(8 * KB)
+
+
+def test_ablation_pipeline_chunk(benchmark):
+    r = benchmark.pedantic(
+        lambda: figures.ablation_pipeline_chunk(chunks=(128 * KB, 512 * KB, 2 * MB)),
+        rounds=1, iterations=1,
+    )
+    # all chunk sizes stay below the NIC line
+    assert all(bw < 11.0 for bw in r.values())
+
+
+def test_ablation_gpudirect(benchmark):
+    r = benchmark.pedantic(figures.ablation_gpudirect, rounds=1, iterations=1)
+    assert r["gpudirect_us"] < r["pipelined_us"]
+
+
+def test_ablation_overdecomposition(benchmark):
+    r = benchmark.pedantic(
+        lambda: figures.ablation_overdecomposition(blocks_per_pe=(1, 2, 4), nodes=2),
+        rounds=1, iterations=1,
+    )
+    # overdecomposition must not be catastrophic; overlap bounds the loss
+    assert max(r.values()) < 2.0 * min(r.values())
+
+
+def test_ablation_ampi_dip(benchmark):
+    r = benchmark.pedantic(figures.ablation_ampi_dip, rounds=1, iterations=1)
+    assert r["on"].at(128 * KB) < r["off"].at(128 * KB)

@@ -1,0 +1,20 @@
+"""Fig. 10: intra-node latency, host-staging vs GPU-aware, all models."""
+
+from repro.bench import figures
+from repro.config import MB
+
+
+def test_fig10_latency_intra(benchmark, osu_sizes):
+    series = benchmark.pedantic(
+        lambda: figures.fig10(sizes=osu_sizes), rounds=1, iterations=1
+    )
+    for model in ("charm", "ampi", "openmpi", "charm4py"):
+        h, d = series[f"{model}-H"], series[f"{model}-D"]
+        # GPU-awareness wins at every measured size (Fig. 10)
+        for x in d.xs:
+            assert h.at(x) > d.at(x), (model, x)
+    for model in ("charm", "ampi", "charm4py"):
+        h, d = series[f"{model}-H"], series[f"{model}-D"]
+        # "observed improvement in latency increases with message size"
+        # (SIV-B1; holds for the Charm++-family models)
+        assert h.at(4 * MB) / d.at(4 * MB) > h.at(1) / d.at(1) * 0.9

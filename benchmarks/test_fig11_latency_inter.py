@@ -1,0 +1,19 @@
+"""Fig. 11: inter-node latency, host-staging vs GPU-aware, all models."""
+
+from repro.bench import figures
+from repro.config import MB
+
+
+def test_fig11_latency_inter(benchmark, osu_sizes):
+    series = benchmark.pedantic(
+        lambda: figures.fig11(sizes=osu_sizes), rounds=1, iterations=1
+    )
+    for model in ("charm", "ampi", "openmpi", "charm4py"):
+        h, d = series[f"{model}-H"], series[f"{model}-D"]
+        for x in d.xs:
+            assert h.at(x) > d.at(x), (model, x)
+    # inter-node improvements are smaller than intra-node (Table I)
+    intra = figures.fig10(sizes=[4 * MB], quiet=True)
+    ratio_inter = series["charm-H"].at(4 * MB) / series["charm-D"].at(4 * MB)
+    ratio_intra = intra["charm-H"].at(4 * MB) / intra["charm-D"].at(4 * MB)
+    assert ratio_inter < ratio_intra

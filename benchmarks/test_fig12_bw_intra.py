@@ -1,0 +1,20 @@
+"""Fig. 12: intra-node bandwidth, host-staging vs GPU-aware, all models."""
+
+import pytest
+
+from repro.bench import figures
+from repro.config import MB
+
+#: SIV-B2 peak intra-node bandwidths (GB/s) the paper reports at 4 MB
+PAPER_PEAKS = {"charm": 44.7, "ampi": 45.4, "charm4py": 35.5}
+
+
+def test_fig12_bandwidth_intra(benchmark, osu_sizes):
+    series = benchmark.pedantic(
+        lambda: figures.fig12(sizes=osu_sizes), rounds=1, iterations=1
+    )
+    for model, peak in PAPER_PEAKS.items():
+        measured = series[f"{model}-D"].at(4 * MB) / 1e3  # MB/s -> GB/s
+        assert measured == pytest.approx(peak, rel=0.15), model
+    # Charm4py trails Charm++/AMPI (the Python per-message costs)
+    assert series["charm4py-D"].at(4 * MB) < series["charm-D"].at(4 * MB)

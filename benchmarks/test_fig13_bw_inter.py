@@ -1,0 +1,20 @@
+"""Fig. 13: inter-node bandwidth, host-staging vs GPU-aware, all models."""
+
+import pytest
+
+from repro.bench import figures
+from repro.config import MB
+
+#: SIV-B2 peak inter-node bandwidths (GB/s) at 4 MB
+PAPER_PEAKS = {"charm": 10.0, "ampi": 10.0, "charm4py": 6.0}
+
+
+def test_fig13_bandwidth_inter(benchmark, osu_sizes):
+    series = benchmark.pedantic(
+        lambda: figures.fig13(sizes=osu_sizes), rounds=1, iterations=1
+    )
+    for model, peak in PAPER_PEAKS.items():
+        measured = series[f"{model}-D"].at(4 * MB) / 1e3
+        assert measured == pytest.approx(peak, rel=0.15), model
+    # AMPI-H inter-node suffers most among the MPIs (Fig. 13b)
+    assert series["ampi-H"].at(4 * MB) < series["openmpi-H"].at(4 * MB)

@@ -1,0 +1,54 @@
+"""Fig. 14: Charm++ Jacobi3D weak and strong scaling."""
+
+from repro.apps.jacobi3d.driver import run_jacobi
+from repro.bench.reporting import Series, print_series
+
+
+def test_fig14_weak_scaling(benchmark, weak_nodes):
+    def run():
+        out = {}
+        for aware, suffix in ((False, "H"), (True, "D")):
+            overall = Series(f"charm-{suffix} overall")
+            comm = Series(f"charm-{suffix} comm")
+            for n in weak_nodes:
+                r = run_jacobi("charm", nodes=n, scaling="weak", gpu_aware=aware,
+                               iters=3, warmup=1)
+                overall.add(n, r.iter_time * 1e3)
+                comm.add(n, r.comm_time * 1e3)
+            out[suffix] = (overall, comm)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 14ab: Charm++ weak scaling (ms/iter)",
+                 [s for pair in out.values() for s in pair],
+                 x_name="nodes", x_fmt=lambda x: str(int(x)))
+    h_overall, h_comm = out["H"]
+    d_overall, d_comm = out["D"]
+    for n in weak_nodes:
+        # D never loses, and the 1-node comm win is large (paper: up to 12.4x)
+        assert d_comm.at(n) <= h_comm.at(n) * 1.05
+        assert d_overall.at(n) <= h_overall.at(n) * 1.05
+    assert h_comm.at(weak_nodes[0]) / d_comm.at(weak_nodes[0]) > 4
+
+
+def test_fig14_strong_scaling(benchmark, strong_nodes):
+    def run():
+        d = Series("charm-D overall")
+        h = Series("charm-H overall")
+        for n in strong_nodes:
+            rd = run_jacobi("charm", nodes=n, scaling="strong", gpu_aware=True,
+                            iters=3, warmup=1)
+            rh = run_jacobi("charm", nodes=n, scaling="strong", gpu_aware=False,
+                            iters=3, warmup=1)
+            d.add(n, rd.iter_time * 1e3)
+            h.add(n, rh.iter_time * 1e3)
+        return d, h
+
+    d, h = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 14cd: Charm++ strong scaling (ms/iter)", [d, h],
+                 x_name="nodes", x_fmt=lambda x: str(int(x)))
+    # strong scaling: iteration time decreases with node count
+    assert d.ys[-1] < d.ys[0]
+    # GPU-aware wins throughout
+    for n in strong_nodes:
+        assert d.at(n) <= h.at(n) * 1.05

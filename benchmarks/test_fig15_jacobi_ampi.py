@@ -1,0 +1,51 @@
+"""Fig. 15: AMPI Jacobi3D weak/strong scaling with the OpenMPI reference."""
+
+from repro.apps.jacobi3d.driver import run_jacobi
+from repro.bench.reporting import Series, print_series
+
+
+def test_fig15_weak_scaling(benchmark, weak_nodes):
+    def run():
+        out = {}
+        for model in ("ampi", "openmpi"):
+            for aware, suffix in ((False, "H"), (True, "D")):
+                s = Series(f"{model}-{suffix} comm")
+                o = Series(f"{model}-{suffix} overall")
+                for n in weak_nodes:
+                    r = run_jacobi(model, nodes=n, scaling="weak", gpu_aware=aware,
+                                   iters=3, warmup=1)
+                    s.add(n, r.comm_time * 1e3)
+                    o.add(n, r.iter_time * 1e3)
+                out[f"{model}-{suffix}"] = (o, s)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 15ab: AMPI/OpenMPI weak scaling comm (ms/iter)",
+                 [pair[1] for pair in out.values()],
+                 x_name="nodes", x_fmt=lambda x: str(int(x)))
+    n0 = weak_nodes[0]
+    # paper: AMPI comm speedup 1.3x-12.8x, biggest at 1 node
+    ampi_speedup = out["ampi-H"][1].at(n0) / out["ampi-D"][1].at(n0)
+    assert ampi_speedup > 5
+    # AMPI-D close to OpenMPI-D at small node counts (SIV-C2)
+    assert out["ampi-D"][0].at(n0) / out["openmpi-D"][0].at(n0) < 1.15
+
+
+def test_fig15_strong_scaling(benchmark, strong_nodes):
+    def run():
+        series = {}
+        for model in ("ampi", "openmpi"):
+            for aware, suffix in ((True, "D"), (False, "H")):
+                s = Series(f"{model}-{suffix}")
+                for n in strong_nodes:
+                    r = run_jacobi(model, nodes=n, scaling="strong",
+                                   gpu_aware=aware, iters=3, warmup=1)
+                    s.add(n, r.iter_time * 1e3)
+                series[f"{model}-{suffix}"] = s
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 15cd: AMPI/OpenMPI strong scaling overall (ms/iter)",
+                 list(series.values()), x_name="nodes", x_fmt=lambda x: str(int(x)))
+    for n in strong_nodes:
+        assert series["ampi-D"].at(n) < series["ampi-H"].at(n)

@@ -1,0 +1,50 @@
+"""Fig. 16: Charm4py Jacobi3D weak and strong scaling."""
+
+from repro.apps.jacobi3d.driver import run_jacobi
+from repro.bench.reporting import Series, print_series
+
+
+def test_fig16_weak_scaling(benchmark, weak_nodes):
+    def run():
+        out = {}
+        for aware, suffix in ((False, "H"), (True, "D")):
+            o = Series(f"charm4py-{suffix} overall")
+            c = Series(f"charm4py-{suffix} comm")
+            for n in weak_nodes:
+                r = run_jacobi("charm4py", nodes=n, scaling="weak",
+                               gpu_aware=aware, iters=3, warmup=1)
+                o.add(n, r.iter_time * 1e3)
+                c.add(n, r.comm_time * 1e3)
+            out[suffix] = (o, c)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 16ab: Charm4py weak scaling (ms/iter)",
+                 [s for pair in out.values() for s in pair],
+                 x_name="nodes", x_fmt=lambda x: str(int(x)))
+    n0 = weak_nodes[0]
+    # paper: comm improvement 1.9x-19.7x; overall speedup up to 7.3x --
+    # communication dominates Charm4py more than the other models
+    comm_speedup = out["H"][1].at(n0) / out["D"][1].at(n0)
+    assert comm_speedup > 3
+    overall_speedup = out["H"][0].at(n0) / out["D"][0].at(n0)
+    assert overall_speedup > 1.2
+
+
+def test_fig16_strong_scaling(benchmark, strong_nodes):
+    def run():
+        d, h = Series("charm4py-D"), Series("charm4py-H")
+        for n in strong_nodes:
+            rd = run_jacobi("charm4py", nodes=n, scaling="strong",
+                            gpu_aware=True, iters=3, warmup=1)
+            rh = run_jacobi("charm4py", nodes=n, scaling="strong",
+                            gpu_aware=False, iters=3, warmup=1)
+            d.add(n, rd.iter_time * 1e3)
+            h.add(n, rh.iter_time * 1e3)
+        return d, h
+
+    d, h = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 16cd: Charm4py strong scaling (ms/iter)", [d, h],
+                 x_name="nodes", x_fmt=lambda x: str(int(x)))
+    for n in strong_nodes:
+        assert d.at(n) < h.at(n)  # paper: 1.5x-2.7x overall with strong scaling

@@ -1,0 +1,41 @@
+"""Table I: improvement ranges in latency and bandwidth with GPU-awareness.
+
+Paper values (for reference; our simulation should land in the same regime
+— same winners, factors within ~50%):
+
+====================  ============  =====  ===========  ============  =====  ===========
+model                 lat intra     eager  bw intra     lat inter     eager  bw inter
+====================  ============  =====  ===========  ============  =====  ===========
+Charm++               2.1x - 10.2x  4.4x   1.4x - 9.6x  1.2x - 4.1x   4.1x   1.2x - 2.7x
+AMPI                  1.9x - 11.7x  3.6x   1.3x - 10x   1.8x - 3.5x   3.4x   1.3x - 2.6x
+Charm4py              1.8x - 17.4x  1.9x   1.3x - 10.5x 1.5x - 3.4x   1.8x   1.0x - 1.5x
+====================  ============  =====  ===========  ============  =====  ===========
+"""
+
+from repro.bench import figures
+
+PAPER = {
+    "charm": {"lat_intra_max": 10.2, "eager_intra": 4.4, "lat_inter_max": 4.1},
+    "ampi": {"lat_intra_max": 11.7, "eager_intra": 3.6, "lat_inter_max": 3.5},
+    "charm4py": {"lat_intra_max": 17.4, "eager_intra": 1.9, "lat_inter_max": 3.4},
+}
+
+
+def test_table1(benchmark, osu_sizes):
+    result = benchmark.pedantic(
+        lambda: figures.table1(sizes=osu_sizes), rounds=1, iterations=1
+    )
+    for model, paper in PAPER.items():
+        r = result[model]
+        measured_max = r["lat_intra"][1]
+        # within a factor of ~1.7 of the paper's maximum improvement
+        assert paper["lat_intra_max"] / 1.7 < measured_max < paper["lat_intra_max"] * 1.7
+        eager = max(r["eager_intra"])
+        assert paper["eager_intra"] / 1.8 < eager < paper["eager_intra"] * 1.8
+        assert r["lat_inter"][1] < r["lat_intra"][1]  # inter gains are smaller
+    # ordering of maximum latency improvements: charm4py > ampi > charm
+    assert (
+        result["charm4py"]["lat_intra"][1]
+        > result["ampi"]["lat_intra"][1]
+        > result["charm"]["lat_intra"][1]
+    )

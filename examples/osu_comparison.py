@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Mini Fig. 10/12: GPU-aware vs host-staging across all four models.
+
+Sweeps a few message sizes and prints intra-node latency and bandwidth for
+Charm++, AMPI, OpenMPI, and Charm4py — the comparison at the heart of the
+paper's evaluation.  (Use ``repro-figures fig10 fig12`` for the full
+ladders.)
+
+Run:  python examples/osu_comparison.py
+"""
+
+from repro.apps.osu import run_bandwidth, run_latency
+from repro.config import KB, MB
+
+SIZES = [64, 4 * KB, 256 * KB, 4 * MB]
+MODELS = ["charm", "ampi", "openmpi", "charm4py"]
+
+
+def main():
+    print("== one-way latency, intra-node (us) ==")
+    header = f"{'size':>8}" + "".join(f"{m + '-' + v:>14}" for m in MODELS for v in "HD")
+    print(header)
+    for size in SIZES:
+        row = f"{size:>8}"
+        for model in MODELS:
+            for aware in (False, True):
+                lat = run_latency(model, size, "intra", aware, iters=10, skip=2)
+                row += f"{lat * 1e6:>14.2f}"
+        print(row)
+
+    print("\n== bandwidth, intra-node (GB/s) ==")
+    print(header)
+    for size in SIZES:
+        row = f"{size:>8}"
+        for model in MODELS:
+            for aware in (False, True):
+                bw = run_bandwidth(model, size, "intra", aware, loops=3, skip=1)
+                row += f"{bw / 1e9:>14.2f}"
+        print(row)
+
+    print("\n(-H = host staging, -D = GPU-aware; compare with paper Figs. 10/12)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — simulation-based reproduction of "GPU-aware Communication with
+UCX in Parallel Programming Models: Charm++, MPI, and Python" (IPDPSW'21).
+
+Public entry points:
+
+* :mod:`repro.config` — machine/protocol/runtime configuration
+  (:func:`repro.config.summit` builds the calibrated Summit model);
+* :mod:`repro.charm` — the Charm++ programming model;
+* :mod:`repro.ampi` — Adaptive MPI on the Charm++ runtime;
+* :mod:`repro.openmpi` — the CUDA-aware OpenMPI baseline;
+* :mod:`repro.charm4py` — Python chares, channels, futures;
+* :mod:`repro.apps.osu` / :mod:`repro.apps.jacobi3d` — the benchmarks;
+* :mod:`repro.bench.figures` — regenerate every paper table/figure.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import MachineConfig, default_config, summit
+
+__all__ = ["MachineConfig", "__version__", "default_config", "summit"]

@@ -1,0 +1,30 @@
+"""MPI basic datatypes (the subset the benchmarks and tests exercise)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype: name, byte extent, NumPy equivalent."""
+
+    name: str
+    extent: int
+    np_dtype: np.dtype
+
+    def bytes_for(self, count: int) -> int:
+        if count < 0:
+            raise ValueError("negative element count")
+        return count * self.extent
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+LONG = Datatype("MPI_LONG", 8, np.dtype(np.int64))
+
+ALL_TYPES = (BYTE, INT, FLOAT, DOUBLE, LONG)

@@ -1,0 +1,37 @@
+"""Per-PE device-pointer software cache (paper §III-C).
+
+On every send, AMPI checks whether the user's buffer address lives on the
+GPU.  The real implementation calls ``cuPointerGetAttribute`` — expensive —
+so each PE keeps a cache of addresses already known to be device memory.
+Here the *answer* is free (``Buffer.on_device``); what the cache models is
+the *cost*: first sight of an address pays the driver query, repeats pay a
+hash-lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.config import RuntimeConfig
+from repro.hardware.memory import Buffer
+
+
+class GpuPointerCache:
+    """One per PE."""
+
+    def __init__(self, cfg: RuntimeConfig) -> None:
+        self.cfg = cfg
+        self._known: Set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def check(self, buf: Buffer) -> tuple[bool, float]:
+        """Returns ``(is_device, lookup_cost_seconds)``."""
+        if buf.address in self._known:
+            self.hits += 1
+            return True, self.cfg.gpu_pointer_cache_hit_cost
+        self.misses += 1
+        cost = self.cfg.gpu_pointer_check_cost
+        if buf.on_device:
+            self._known.add(buf.address)
+        return buf.on_device, cost

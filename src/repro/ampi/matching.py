@@ -1,0 +1,81 @@
+"""AMPI message matching: the two scenarios of the paper's §III-C2.
+
+If the host-side envelope arrives before the receive is posted, it waits in
+the **unexpected queue**; if the receive comes first, it waits in the
+**request queue**.  Matching is MPI-semantics FIFO on ``(comm, source,
+tag)`` with ``ANY_SOURCE``/``ANY_TAG`` wildcards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.device_buffer import CkDeviceBuffer
+from repro.hardware.memory import Buffer
+from repro.sim.primitives import SimEvent
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class AmpiEnvelope:
+    """Host-side metadata of one AMPI message (rides in a Converse message)."""
+
+    src: int
+    dst: int
+    tag: int
+    comm: int
+    size: int  # payload bytes
+    payload: Optional[Buffer] = None  # inline (eager) host payload copy
+    src_host_buf: Optional[Buffer] = None  # zero-copy rendezvous host source
+    dev_meta: Optional[CkDeviceBuffer] = None  # GPU transfer metadata
+    host_send_id: int = 0  # routes the rendezvous FIN back to the sender
+    seq: int = 0  # per (src,dst,comm) sequence, diagnostics only
+    value: object = None  # value-based payload (collectives internals)
+
+
+@dataclass
+class PostedMpiRecv:
+    """One entry of the request queue."""
+
+    src: int  # ANY_SOURCE allowed
+    tag: int  # ANY_TAG allowed
+    comm: int
+    buf: Buffer
+    capacity: int  # bytes the caller allows
+    event: SimEvent
+
+    def matches(self, env: AmpiEnvelope) -> bool:
+        return (
+            env.comm == self.comm
+            and (self.src == ANY_SOURCE or self.src == env.src)
+            and (self.tag == ANY_TAG or self.tag == env.tag)
+        )
+
+
+class MatchEngine:
+    """Per-rank unexpected + posted queues."""
+
+    def __init__(self) -> None:
+        self.unexpected: List[AmpiEnvelope] = []
+        self.posted: List[PostedMpiRecv] = []
+
+    def match_envelope(self, env: AmpiEnvelope) -> tuple[Optional[PostedMpiRecv], int]:
+        """Envelope arrived: return (matching posted recv or None, #scanned)."""
+        for scanned, req in enumerate(self.posted):
+            if req.matches(env):
+                self.posted.remove(req)
+                return req, scanned + 1
+        self.unexpected.append(env)
+        return None, len(self.posted)
+
+    def match_recv(self, req: PostedMpiRecv) -> tuple[Optional[AmpiEnvelope], int]:
+        """Receive posted: return (matching unexpected envelope or None, #scanned)."""
+        for scanned, env in enumerate(self.unexpected):
+            if req.matches(env):
+                self.unexpected.remove(env)
+                return env, scanned + 1
+        self.posted.append(req)
+        return None, len(self.unexpected)

@@ -1,0 +1,1 @@
+"""Applications: the OSU micro-benchmarks and the Jacobi3D proxy app."""

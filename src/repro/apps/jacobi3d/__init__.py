@@ -1,0 +1,34 @@
+"""Jacobi3D: the paper's proxy application (§IV-C).
+
+The Jacobi iterative method on a 3-D domain of doubles, decomposed into
+equal-size cuboid blocks (minimising surface area), one block per PE/GPU.
+Each block exchanges up to six halo faces with its neighbours per
+iteration — either directly from GPU buffers (``-D``) or staged through
+host memory (``-H``) — then runs the stencil kernel on the GPU.  Weak
+scaling starts from a 1536³ base domain, doubling x, y, z in turn; strong
+scaling fixes 3072³.  No convergence checks by default: the paper isolates
+point-to-point communication performance, and so do we — but a reduction-
+based residual check is implemented as an extension (``check_interval`` /
+``tolerance`` on the Charm++ runner).
+
+Implemented for all four models; AMPI and OpenMPI share one program.
+"""
+
+from repro.apps.jacobi3d.decomposition import Decomposition, weak_scaling_domain
+from repro.apps.jacobi3d.driver import run_jacobi
+from repro.apps.jacobi3d.kernels import (
+    jacobi_reference_step,
+    pack_kernel,
+    stencil_kernel,
+    unpack_kernel,
+)
+
+__all__ = [
+    "Decomposition",
+    "jacobi_reference_step",
+    "pack_kernel",
+    "run_jacobi",
+    "stencil_kernel",
+    "unpack_kernel",
+    "weak_scaling_domain",
+]

@@ -1,0 +1,116 @@
+"""Jacobi3D driver: weak/strong scaling runs and the CLI."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.apps.jacobi3d.charm_impl import run_charm_jacobi
+from repro.apps.jacobi3d.charm4py_impl import run_charm4py_jacobi
+from repro.apps.jacobi3d.decomposition import Decomposition, weak_scaling_domain
+from repro.apps.jacobi3d.mpi_impl import run_ampi_jacobi, run_openmpi_jacobi
+from repro.config import MachineConfig, summit
+
+#: paper §IV-C: weak-scaling base domain edge (1536³ doubles), strong 3072³
+WEAK_BASE = 1536
+STRONG_DOMAIN = (3072, 3072, 3072)
+
+_RUNNERS = {
+    "charm": run_charm_jacobi,
+    "ampi": run_ampi_jacobi,
+    "openmpi": run_openmpi_jacobi,
+    "charm4py": run_charm4py_jacobi,
+}
+
+
+@dataclass(frozen=True)
+class JacobiResult:
+    model: str
+    gpu_aware: bool
+    nodes: int
+    domain: Tuple[int, int, int]
+    iter_time: float  # average overall time per iteration (seconds)
+    comm_time: float  # average communication time per iteration (seconds)
+
+
+def run_jacobi(
+    model: str,
+    nodes: int = 1,
+    scaling: str = "weak",
+    gpu_aware: bool = True,
+    iters: int = 4,
+    warmup: int = 1,
+    config: Optional[MachineConfig] = None,
+    domain: Optional[Tuple[int, int, int]] = None,
+    functional: bool = False,
+    base: int = WEAK_BASE,
+    **runner_kwargs,
+) -> JacobiResult:
+    """Run one Jacobi3D configuration and return per-iteration timings.
+
+    ``scaling='weak'`` grows the domain from ``base``³ with the node count
+    (paper Fig. 14-16 a/b); ``scaling='strong'`` fixes 3072³ (c/d).  An
+    explicit ``domain`` overrides both (used by the functional tests).
+    """
+    if model not in _RUNNERS:
+        raise ValueError(f"unknown model {model!r}; pick from {sorted(_RUNNERS)}")
+    cfg = config if config is not None else summit(nodes=nodes)
+    if domain is None:
+        domain = (
+            weak_scaling_domain(base, nodes) if scaling == "weak" else STRONG_DOMAIN
+        )
+    bpp = runner_kwargs.get("blocks_per_pe", 1)
+    p = cfg.topology.total_gpus * bpp
+    if bpp > 1:
+        # Overdecomposition with locality: keep the PE-level grid of the
+        # bpp=1 run and slice each PE's block into bpp z-slabs, so the
+        # node-boundary cut is unchanged and only overlap/granularity vary.
+        from repro.apps.jacobi3d.decomposition import best_grid
+
+        px, py, pz = best_grid(cfg.topology.total_gpus, domain)
+        if domain[2] % (pz * bpp) == 0:
+            decomp = Decomposition(domain=domain, grid=(px, py, pz * bpp))
+            runner_kwargs["mapping"] = (
+                lambda i: (i % px) + px * (((i // px) % py) + py * ((i // (px * py)) // bpp))
+            )
+        else:
+            decomp = Decomposition.create(domain, p)
+    else:
+        decomp = Decomposition.create(domain, p)
+    collector = _RUNNERS[model](
+        cfg, decomp, gpu_aware, iters=iters, warmup=warmup,
+        functional=functional, **runner_kwargs,
+    )
+    return JacobiResult(
+        model=model,
+        gpu_aware=gpu_aware,
+        nodes=cfg.topology.nodes,
+        domain=domain,
+        iter_time=collector.avg_iter_time(),
+        comm_time=collector.avg_comm_time(),
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Jacobi3D proxy app (simulated)")
+    parser.add_argument("model", choices=sorted(_RUNNERS))
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--scaling", choices=["weak", "strong"], default="weak")
+    parser.add_argument("--host-staging", action="store_true")
+    parser.add_argument("--iters", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    result = run_jacobi(
+        args.model, nodes=args.nodes, scaling=args.scaling,
+        gpu_aware=not args.host_staging, iters=args.iters,
+    )
+    variant = "H" if args.host_staging else "D"
+    print(f"# Jacobi3D {args.model}-{variant}, {args.nodes} nodes, "
+          f"{args.scaling} scaling, domain {result.domain}")
+    print(f"overall time per iteration: {result.iter_time * 1e3:9.3f} ms")
+    print(f"comm    time per iteration: {result.comm_time * 1e3:9.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""OSU micro-benchmarks adapted to Charm++, AMPI, OpenMPI, and Charm4py.
+
+The paper (§IV-B) adapts the OSU latency and bandwidth benchmarks to each
+programming model and adds a *host-staging* option (suffix ``-H``) that
+stages GPU buffers through host memory with explicit ``cudaMemcpy``, to
+compare against the GPU-aware path (suffix ``-D``).  This package does the
+same: one implementation per (benchmark, model), a sweep runner, and the
+default OSU message-size ladder (1 B – 4 MB).
+"""
+
+from repro.apps.osu.runner import (
+    MODELS,
+    OSU_SIZES,
+    intra_node_pair,
+    inter_node_pair,
+    run_bandwidth,
+    run_bandwidth_sweep,
+    run_latency,
+    run_latency_sweep,
+)
+
+__all__ = [
+    "MODELS",
+    "OSU_SIZES",
+    "intra_node_pair",
+    "inter_node_pair",
+    "run_bandwidth",
+    "run_bandwidth_sweep",
+    "run_latency",
+    "run_latency_sweep",
+]

@@ -1,0 +1,76 @@
+"""Multi-pair aggregate bandwidth (osu_mbw_mr style).
+
+All six GPUs of node 0 stream to their partners on node 1 simultaneously —
+the pattern that exercises a node's *aggregate* injection bandwidth.  On
+Summit the dual-rail EDR fabric gives each socket its own HCA, so the
+aggregate is ~2x the single-pair rate; this benchmark demonstrates exactly
+that in the model (and collapses to ~1x when the machine is configured with
+``nic_rails=1``).
+
+Not part of the paper's evaluation — an extension exercising the hardware
+substrate — but built from the same OpenMPI rank programs as the other
+micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import MachineConfig, summit
+from repro.openmpi import OpenMpi
+
+
+def _pair_program(mpi, size, loops, skip, window, out):
+    gpn = mpi.lib.cfg.topology.gpus_per_node
+    if mpi.rank < gpn:  # node-0 ranks send to node-1 partners
+        partner = mpi.rank + gpn
+        sender = True
+    else:
+        partner = mpi.rank - gpn
+        sender = False
+    cuda = mpi.charm.cuda
+    buf = cuda.malloc(mpi.gpu, size, materialize=False)
+    ack = cuda.malloc_host(mpi.node, 8)
+    t0 = 0.0
+    for loop in range(loops + skip):
+        if sender and loop == skip:
+            t0 = mpi.sim.now
+        if sender:
+            reqs = [mpi.isend(buf, size, dst=partner, tag=300) for _ in range(window)]
+            yield mpi.waitall(reqs)
+            yield mpi.recv(ack, 8, src=partner, tag=301)
+        else:
+            reqs = [mpi.irecv(buf, size, src=partner, tag=300) for _ in range(window)]
+            yield mpi.waitall(reqs)
+            yield mpi.send(ack, 8, dst=partner, tag=301)
+    if sender:
+        out[mpi.rank] = loops * window * size / (mpi.sim.now - t0)
+
+
+def run_multi_pair_bandwidth(
+    size: int,
+    pairs: Optional[int] = None,
+    config: Optional[MachineConfig] = None,
+    loops: int = 3,
+    skip: int = 1,
+    window: int = 32,
+) -> dict:
+    """Run ``pairs`` concurrent inter-node streams (default: all six GPUs).
+
+    Returns ``{"per_pair": {rank: B/s}, "aggregate": B/s}``.
+    """
+    cfg = config if config is not None else summit(nodes=2)
+    gpn = cfg.topology.gpus_per_node
+    n_pairs = pairs if pairs is not None else gpn
+    if not 1 <= n_pairs <= gpn:
+        raise ValueError(f"pairs must be in [1, {gpn}]")
+    lib = OpenMpi(cfg)
+    out: dict = {}
+
+    def program(mpi):
+        if mpi.rank % gpn < n_pairs:
+            yield from _pair_program(mpi, size, loops, skip, window, out)
+
+    done = lib.launch(program)
+    lib.run_until(done, max_events=50_000_000)
+    return {"per_pair": out, "aggregate": sum(out.values())}

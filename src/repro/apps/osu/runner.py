@@ -1,0 +1,148 @@
+"""Sweep runner and CLI for the OSU benchmarks."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.osu import bandwidth as bw_mod
+from repro.apps.osu import latency as lat_mod
+from repro.config import KB, MB, MachineConfig, summit
+
+#: The OSU message-size ladder used in the paper's figures: 1 B to 4 MB.
+OSU_SIZES: List[int] = [1 << i for i in range(23)]  # 1 ... 4 MiB
+
+MODELS = ("charm", "ampi", "openmpi", "charm4py")
+
+_LATENCY_FNS = {
+    "charm": lat_mod.charm_latency,
+    "ampi": lat_mod.ampi_latency,
+    "openmpi": lat_mod.openmpi_latency,
+    "charm4py": lat_mod.charm4py_latency,
+}
+
+_BANDWIDTH_FNS = {
+    "charm": bw_mod.charm_bandwidth,
+    "ampi": bw_mod.ampi_bandwidth,
+    "openmpi": bw_mod.openmpi_bandwidth,
+    "charm4py": bw_mod.charm4py_bandwidth,
+}
+
+
+def intra_node_pair(config: MachineConfig) -> Tuple[int, int]:
+    """Two GPUs on the same socket of node 0 (the paper's intra-node runs)."""
+    return (0, 1)
+
+
+def inter_node_pair(config: MachineConfig) -> Tuple[int, int]:
+    """GPU 0 of node 0 and GPU 0 of node 1."""
+    return (0, config.topology.gpus_per_node)
+
+
+def run_latency(
+    model: str,
+    size: int,
+    placement: str = "intra",
+    gpu_aware: bool = True,
+    config: Optional[MachineConfig] = None,
+    iters: int = 20,
+    skip: int = 4,
+) -> float:
+    """One latency point; returns one-way latency in seconds."""
+    if model not in _LATENCY_FNS:
+        raise ValueError(f"unknown model {model!r}; pick from {MODELS}")
+    cfg = config if config is not None else summit(nodes=2)
+    gpus = intra_node_pair(cfg) if placement == "intra" else inter_node_pair(cfg)
+    return _LATENCY_FNS[model](cfg, size, gpus, gpu_aware, iters, skip)
+
+
+def run_bandwidth(
+    model: str,
+    size: int,
+    placement: str = "intra",
+    gpu_aware: bool = True,
+    config: Optional[MachineConfig] = None,
+    loops: int = 4,
+    skip: int = 1,
+    window: int = bw_mod.WINDOW,
+) -> float:
+    """One bandwidth point; returns bytes/second."""
+    if model not in _BANDWIDTH_FNS:
+        raise ValueError(f"unknown model {model!r}; pick from {MODELS}")
+    cfg = config if config is not None else summit(nodes=2)
+    gpus = intra_node_pair(cfg) if placement == "intra" else inter_node_pair(cfg)
+    return _BANDWIDTH_FNS[model](cfg, size, gpus, gpu_aware, loops, skip, window)
+
+
+def run_latency_sweep(
+    model: str,
+    placement: str = "intra",
+    gpu_aware: bool = True,
+    sizes: Sequence[int] = OSU_SIZES,
+    config: Optional[MachineConfig] = None,
+    iters: int = 20,
+    skip: int = 4,
+) -> Dict[int, float]:
+    return {
+        s: run_latency(model, s, placement, gpu_aware, config, iters, skip)
+        for s in sizes
+    }
+
+
+def run_bandwidth_sweep(
+    model: str,
+    placement: str = "intra",
+    gpu_aware: bool = True,
+    sizes: Sequence[int] = OSU_SIZES,
+    config: Optional[MachineConfig] = None,
+    loops: int = 4,
+    skip: int = 1,
+    window: int = bw_mod.WINDOW,
+) -> Dict[int, float]:
+    return {
+        s: run_bandwidth(model, s, placement, gpu_aware, config, loops, skip, window)
+        for s in sizes
+    }
+
+
+def _fmt_size(size: int) -> str:
+    if size >= MB:
+        return f"{size // MB}M"
+    if size >= KB:
+        return f"{size // KB}K"
+    return str(size)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description="OSU micro-benchmarks (simulated)")
+    parser.add_argument("benchmark", choices=["latency", "bandwidth"])
+    parser.add_argument("model", choices=list(MODELS))
+    parser.add_argument("--placement", choices=["intra", "inter"], default="intra")
+    parser.add_argument("--host-staging", action="store_true",
+                        help="run the -H variant instead of GPU-aware -D")
+    parser.add_argument("--max-size", type=int, default=4 * MB)
+    args = parser.parse_args(argv)
+
+    sizes = [s for s in OSU_SIZES if s <= args.max_size]
+    variant = "H" if args.host_staging else "D"
+    label = f"{args.model}-{variant} ({args.placement}-node)"
+    if args.benchmark == "latency":
+        series = run_latency_sweep(
+            args.model, args.placement, not args.host_staging, sizes
+        )
+        print(f"# OSU latency: {label}")
+        print(f"{'size':>8}  {'latency (us)':>12}")
+        for s, v in series.items():
+            print(f"{_fmt_size(s):>8}  {v * 1e6:12.2f}")
+    else:
+        series = run_bandwidth_sweep(
+            args.model, args.placement, not args.host_staging, sizes
+        )
+        print(f"# OSU bandwidth: {label}")
+        print(f"{'size':>8}  {'bandwidth (MB/s)':>16}")
+        for s, v in series.items():
+            print(f"{_fmt_size(s):>8}  {v / 1e6:16.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.reporting import Series, improvement_range, print_series, print_table
+from repro.bench import figures
+
+__all__ = ["Series", "figures", "improvement_range", "print_series", "print_table"]

@@ -1,0 +1,97 @@
+"""Analysis helpers over measured series: alpha-beta fits, crossovers.
+
+Turns the benchmark outputs into the quantities papers talk about:
+
+* :func:`fit_alpha_beta` — least-squares fit of ``t(s) = alpha + s/beta``
+  to a latency series, recovering effective startup latency and bandwidth
+  (the LogP-style summary of a curve);
+* :func:`crossover` — the message size where one curve overtakes another
+  (e.g. where host staging's fixed costs stop dominating);
+* :func:`half_peak_size` — the "n½" metric: the size achieving half the
+  peak bandwidth;
+* :func:`speedup_series` — pointwise ratio of two series.
+
+Used by tests to assert curve *shapes* rather than individual points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.reporting import Series
+
+
+def fit_alpha_beta(series: Series) -> Tuple[float, float]:
+    """Least-squares fit of ``t = alpha + size/beta`` to a latency series
+    (x in bytes, y in **seconds**).  Returns ``(alpha_seconds, beta_bytes_per_s)``.
+
+    The fit weights all points equally in linear space, so large-message
+    points dominate beta and small-message points pin alpha — which is the
+    conventional reading of such curves.
+    """
+    if len(series.points) < 2:
+        raise ValueError("need at least two points to fit")
+    x = np.asarray(series.xs, dtype=float)
+    y = np.asarray(series.ys, dtype=float)
+    slope, alpha = np.polyfit(x, y, 1)
+    if slope <= 0:
+        raise ValueError("series is not increasing with size; cannot fit beta")
+    return float(alpha), float(1.0 / slope)
+
+
+def speedup_series(numerator: Series, denominator: Series, label: str = "speedup") -> Series:
+    """Pointwise numerator/denominator over shared x values."""
+    shared = [x for x in numerator.xs if x in set(denominator.xs)]
+    return Series(label, [(x, numerator.at(x) / denominator.at(x)) for x in shared])
+
+
+def crossover(a: Series, b: Series) -> Optional[float]:
+    """Smallest shared x where ``a`` stops exceeding ``b`` (None if never).
+
+    Interpolates in log-x between the bracketing points, which matches how
+    one reads crossovers off a log-scale figure.
+    """
+    shared = sorted(set(a.xs) & set(b.xs))
+    if not shared:
+        raise ValueError("series share no x values")
+    prev = None
+    for x in shared:
+        diff = a.at(x) - b.at(x)
+        if diff <= 0:
+            if prev is None:
+                return float(x)
+            px, pdiff = prev
+            if pdiff == diff:
+                return float(x)
+            # linear interpolation of the sign change in log-x
+            frac = pdiff / (pdiff - diff)
+            return float(math.exp(
+                math.log(px) + frac * (math.log(x) - math.log(px))
+            ))
+        prev = (x, diff)
+    return None
+
+
+def half_peak_size(bw_series: Series) -> float:
+    """The n½ metric: smallest size reaching half of the series' peak."""
+    peak = max(bw_series.ys)
+    for x in sorted(bw_series.xs):
+        if bw_series.at(x) >= peak / 2:
+            return float(x)
+    raise AssertionError("unreachable: the peak itself reaches half-peak")
+
+
+def summarize_latency(series: Series) -> Dict[str, float]:
+    """One-line summary of a latency series (seconds): alpha, beta, and the
+    small/large endpoints."""
+    alpha, beta = fit_alpha_beta(series)
+    xs = sorted(series.xs)
+    return {
+        "alpha_us": alpha * 1e6,
+        "beta_gbs": beta / 1e9,
+        "min_size_us": series.at(xs[0]) * 1e6,
+        "max_size_us": series.at(xs[-1]) * 1e6,
+    }

@@ -1,0 +1,99 @@
+"""The paper's reported numbers, as structured data.
+
+Single source of truth for every quantitative claim the reproduction is
+checked against: Table I's improvement ranges, §IV-B2's peak bandwidths,
+§IV-B1's overhead anatomy, and §IV-C's Jacobi3D speedup ranges.  Used by
+the pytest benchmarks and by :mod:`repro.bench.experiments` to generate
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Range:
+    lo: float
+    hi: float
+
+    def __str__(self) -> str:
+        return f"{self.lo:g}x–{self.hi:g}x"
+
+
+#: Table I — improvement in latency and bandwidth with GPU-aware
+#: communication (H over D for latency; D over H for bandwidth).
+TABLE1: Dict[str, Dict[str, object]] = {
+    "charm": {
+        "lat_intra": Range(2.1, 10.2), "eager_intra": 4.4, "bw_intra": Range(1.4, 9.6),
+        "lat_inter": Range(1.2, 4.1), "eager_inter": 4.1, "bw_inter": Range(1.2, 2.7),
+    },
+    "ampi": {
+        "lat_intra": Range(1.9, 11.7), "eager_intra": 3.6, "bw_intra": Range(1.3, 10.0),
+        "lat_inter": Range(1.8, 3.5), "eager_inter": 3.4, "bw_inter": Range(1.3, 2.6),
+    },
+    "charm4py": {
+        "lat_intra": Range(1.8, 17.4), "eager_intra": 1.9, "bw_intra": Range(1.3, 10.5),
+        "lat_inter": Range(1.5, 3.4), "eager_inter": 1.8, "bw_inter": Range(1.0, 1.5),
+    },
+}
+
+#: §IV-B2 — peak bandwidths at 4 MB (GB/s, decimal)
+PEAK_BW: Dict[str, Dict[str, float]] = {
+    "charm": {"intra": 44.7, "inter": 10.0},
+    "ampi": {"intra": 45.4, "inter": 10.0},
+    "charm4py": {"intra": 35.5, "inter": 6.0},
+}
+
+#: §IV-B1 — the overhead-anatomy experiment
+ANATOMY = {
+    "ucx_device_transfer_us": 2.0,  # "latency of less than 2 us"
+    "ampi_outside_ucx_us": 8.0,  # "turns out to be about 8 us"
+}
+
+#: §IV-C — Jacobi3D communication-time speedups (weak scaling; the largest
+#: value is obtained on a single node) and overall-time improvements.
+JACOBI = {
+    "charm": {
+        "comm_speedup_weak": Range(1.1, 12.4),
+        "overall_reduction_weak": (0.05, 0.37),  # 5%..37%
+        "comm_speedup_strong": (1.12, 1.82),  # "between 12% and 82%"
+        "overall_reduction_strong": (0.09, 0.27),
+    },
+    "ampi": {
+        "comm_speedup_weak": Range(1.3, 12.8),
+        "overall_reduction_weak": (0.0, 0.41),  # "up to 41%"
+        "comm_speedup_strong": (1.9, 2.6),
+        "overall_reduction_strong": (0.27, 0.74),
+    },
+    "charm4py": {
+        "comm_speedup_weak": Range(1.9, 19.7),
+        "overall_speedup_weak": (1.9, 7.3),  # overall *speedup*, not %
+        "comm_speedup_strong": (1.4, 3.0),
+        "overall_speedup_strong": (1.5, 2.7),
+    },
+}
+
+#: Experimental-setup constants (§IV-A) the hardware model encodes
+SETUP = {
+    "nvlink_gbs": 50.0,
+    "xbus_gbs": 64.0,
+    "nic_gbs": 12.5,
+    "gpus_per_node": 6,
+    "max_nodes": 256,
+    "weak_base_edge": 1536,
+    "strong_edge": 3072,
+}
+
+
+def within(measured: float, expected: float, rel: float) -> bool:
+    """True if ``measured`` is within ``rel`` relative error of ``expected``."""
+    if expected == 0:
+        return measured == 0
+    return abs(measured - expected) / abs(expected) <= rel
+
+
+def verdict(measured: float, expected: float, rel: float = 0.5) -> str:
+    """A compact OK/deviation marker for report tables."""
+    return "ok" if within(measured, expected, rel) else "deviates"

@@ -1,0 +1,85 @@
+"""Dependency-free ASCII plots for the figure runners.
+
+``repro-figures`` can render its series as log-log ASCII charts in the
+terminal (``--plot``), which is enough to eyeball the shapes against the
+paper's figures without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.bench.reporting import Series, fmt_size
+
+#: glyphs assigned to curves, in order
+_GLYPHS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], lo: float, hi: float, cells: int) -> List[int]:
+    if lo <= 0:
+        lo = min(v for v in values if v > 0)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+    out = []
+    for v in values:
+        if v <= 0:
+            out.append(0)
+        else:
+            frac = math.log10(v / lo) / span if span else 0.0
+            out.append(max(0, min(cells - 1, round(frac * (cells - 1)))))
+    return out
+
+
+def ascii_plot(
+    title: str,
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 20,
+    x_is_size: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render curves on a log-log grid; returns the chart as a string."""
+    series = [s for s in series if s.points]
+    if not series:
+        return f"# {title}\n(no data)\n"
+    xs = sorted({x for s in series for x in s.xs})
+    ys = [y for s in series for y in s.ys if y > 0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        cols = _log_positions(s.xs, x_lo, x_hi, width)
+        rows = _log_positions(s.ys, y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            row = height - 1 - r
+            grid[row][c] = glyph
+
+    lines = [f"# {title}  (log-log)"]
+    top = f"{y_hi:.3g}"
+    bottom = f"{y_lo:.3g}"
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top
+        elif i == height - 1:
+            label = bottom
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    x_left = fmt_size(int(x_lo)) if x_is_size else f"{x_lo:g}"
+    x_right = fmt_size(int(x_hi)) if x_is_size else f"{x_hi:g}"
+    lines.append(f"{'':>{margin}} +" + "-" * width)
+    lines.append(f"{'':>{margin}}  {x_left}" + " " * (width - len(x_left) - len(x_right)) + x_right)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"{'':>{margin}}  {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def plot_series_dict(title: str, series: Dict[str, Series], **kw) -> str:
+    return ascii_plot(title, list(series.values()), **kw)

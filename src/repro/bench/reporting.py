@@ -1,0 +1,82 @@
+"""Formatting and ratio helpers for the figure/table runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import KB, MB
+
+
+@dataclass
+class Series:
+    """One curve of a figure: label -> ordered (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"{self.label}: no point at x={x}")
+
+
+def improvement_range(h: Series, d: Series) -> Tuple[float, float]:
+    """(min, max) of H/D across shared x values — how Table I's
+    "Improvement ... Range" rows are computed from the latency figures
+    (for bandwidth figures pass (D, H) since bigger is better)."""
+    shared = [x for x in h.xs if x in set(d.xs)]
+    if not shared:
+        raise ValueError("series share no x values")
+    ratios = [h.at(x) / d.at(x) for x in shared]
+    return min(ratios), max(ratios)
+
+
+def fmt_size(size: int) -> str:
+    if size >= MB:
+        return f"{size // MB}M"
+    if size >= KB:
+        return f"{size // KB}K"
+    return str(size)
+
+
+def print_series(title: str, series: Sequence[Series], x_name: str = "size",
+                 y_fmt: str = "{:.2f}", x_fmt=None) -> None:
+    """Print curves as an aligned table (one row per x, one column per curve)."""
+    print(f"# {title}")
+    xs = sorted({x for s in series for x in s.xs})
+    header = f"{x_name:>10}" + "".join(f"{s.label:>16}" for s in series)
+    print(header)
+    for x in xs:
+        if x_fmt is not None:
+            row = f"{x_fmt(x):>10}"
+        else:
+            row = f"{fmt_size(int(x)):>10}"
+        for s in series:
+            try:
+                row += f"{y_fmt.format(s.at(x)):>16}"
+            except KeyError:
+                row += f"{'-':>16}"
+        print(row)
+    print()
+
+
+def print_table(title: str, rows: Dict[str, Sequence[str]], columns: Sequence[str]) -> None:
+    print(f"# {title}")
+    width = max(len(c) for c in columns) + 4
+    print(f"{'':>24}" + "".join(f"{c:>{width}}" for c in columns))
+    for name, values in rows.items():
+        print(f"{name:>24}" + "".join(f"{v:>{width}}" for v in values))
+    print()

@@ -1,0 +1,41 @@
+"""CkCallback: completion notifications routed through the runtime."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm.charm import Charm
+    from repro.charm.proxy import ChareProxy
+
+
+class CkCallback:
+    """Either a plain callable fired at the invoking PE, or an entry-method
+    target (``proxy``, ``method``) the value is sent to as a message.
+
+    Charging: invoking a callback costs ``callback_invoke_overhead`` on the
+    PE where it fires (the paper counts these among AMPI's non-UCX
+    overheads)."""
+
+    __slots__ = ("fn", "proxy", "method", "_charm")
+
+    def __init__(
+        self,
+        fn: Optional[Callable[..., None]] = None,
+        proxy: Optional["ChareProxy"] = None,
+        method: Optional[str] = None,
+    ) -> None:
+        if fn is None and (proxy is None or method is None):
+            raise ValueError("CkCallback needs fn, or proxy+method")
+        if fn is not None and proxy is not None:
+            raise ValueError("CkCallback takes fn or proxy+method, not both")
+        self.fn = fn
+        self.proxy = proxy
+        self.method = method
+
+    def send(self, charm: "Charm", *value: Any) -> None:
+        charm.charge_current_pe(charm.cfg.runtime.callback_invoke_overhead)
+        if self.fn is not None:
+            self.fn(*value)
+        else:
+            getattr(self.proxy, self.method)(*value)

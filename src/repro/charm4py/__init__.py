@@ -1,0 +1,21 @@
+"""Charm4py: Python parallel programming over the Charm++ runtime.
+
+The paper's third programming model (§II-E, §III-D): chares written in
+Python, communicating through entry methods, **channels** (explicit
+send/recv with coroutine suspension) and **futures**.  The Python API costs
+real interpreter time per call plus a Cython-layer crossing into the C++
+runtime; those costs — not the transport — are what separate Charm4py's
+curves from Charm++'s in the paper's figures, and they are charged here per
+operation from :class:`repro.config.RuntimeConfig`.
+
+Coroutine entry methods are generator functions; channel receives are
+yielded, suspending the coroutine until the data (host or GPU) arrives —
+implemented with futures exactly as described in §III-D2.
+"""
+
+from repro.charm4py.chare import PyChare
+from repro.charm4py.channels import Channel
+from repro.charm4py.futures import Future
+from repro.charm4py.runtime import Charm4py
+
+__all__ = ["Channel", "Charm4py", "Future", "PyChare"]

@@ -1,0 +1,29 @@
+"""Charm4py chares: Python chares over the Charm++ core.
+
+``PyChare`` subclasses the Charm++ :class:`~repro.charm.chare.Chare`; entry
+invocations travel through the same runtime, but every dispatch pays the
+Python/Cython cost (installed as ``dispatch_overhead`` at registration).
+Generator entry methods are coroutines: they may ``yield`` channel receives
+and future gets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.charm.chare import Chare
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.charm4py.runtime import Charm4py
+
+
+class PyChare(Chare):
+    """Base class for Charm4py chares.
+
+    The runtime injects ``self.c4p`` (the :class:`Charm4py` runtime) in
+    addition to the Charm++ attributes; ``dispatch_overhead`` makes every
+    entry dispatch pay the interpreter cost.
+    """
+
+    c4p: "Charm4py"
+    dispatch_overhead: float = 0.0  # set per-instance at registration

@@ -1,0 +1,42 @@
+"""Futures: the asynchrony primitive of Charm4py (paper §II-E, [17]).
+
+A future is created by a coroutine, passed (inside messages) to whoever
+will produce the value, and ``get`` suspends the coroutine until ``send``
+fulfils it.  Channel receives are implemented on futures (§III-D2): the
+machine-layer completion callback fulfils the future, which resumes the
+suspended coroutine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.sim.primitives import SimEvent
+
+_future_ids = itertools.count(1)
+
+
+class Future:
+    """One-shot value container with coroutine suspension semantics."""
+
+    __slots__ = ("runtime", "fid", "_event")
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.fid = next(_future_ids)
+        self._event = SimEvent(runtime.sim, name=f"future{self.fid}")
+
+    @property
+    def fulfilled(self) -> bool:
+        return self._event.triggered
+
+    def get(self) -> SimEvent:
+        """Yield this from a coroutine to suspend until the value arrives."""
+        return self._event
+
+    def send(self, value: Any = None) -> None:
+        """Fulfil the future; the waiting coroutine resumes after the
+        Python-side fulfilment cost."""
+        cost = self.runtime.cython.future_cost()
+        self.runtime.sim.schedule(cost, self._event.succeed, value)

@@ -1,0 +1,270 @@
+"""All tunable parameters of the reproduction, in one place.
+
+Units: time in **seconds**, sizes in **bytes**, bandwidth in **bytes/second**.
+
+Three groups of parameters:
+
+* :class:`TopologyConfig` — the hardware shape (Summit AC922 by default):
+  link latencies/bandwidths, GPUs per socket, memory capacities.
+* :class:`UcxConfig` — UCX protocol behaviour: eager/rendezvous thresholds,
+  GDRCopy availability, pipeline chunk size, per-operation costs.
+* :class:`RuntimeConfig` — per-programming-model software overheads
+  (Charm++/Converse, AMPI, OpenMPI, Charm4py).  These are the calibrated
+  quantities; EXPERIMENTS.md records how the defaults were chosen against
+  the paper's reported numbers (e.g. the ~8 μs of AMPI time outside UCX in
+  §IV-B1).
+
+The defaults model one Summit node/network; experiments that want a
+different machine (more nodes, GDRCopy disabled, different tag-bit split)
+copy a config with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Alpha-beta parameters of one hardware link."""
+
+    latency: float  # seconds per traversal (alpha)
+    bandwidth: float  # bytes/second (1/beta)
+
+    def transfer_time(self, size: int) -> float:
+        """Latency + serialisation time for ``size`` bytes."""
+        return self.latency + size / self.bandwidth
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape and speeds of the simulated machine (default: Summit AC922).
+
+    Summit: 2 Power9 sockets/node, 3 V100s per socket.  GPU<->CPU and
+    GPU<->GPU links are NVLink2 (50 GB/s per direction); the sockets are
+    joined by the X-Bus (64 GB/s); nodes by EDR InfiniBand (12.5 GB/s).
+    """
+
+    nodes: int = 2
+    sockets_per_node: int = 2
+    gpus_per_socket: int = 3
+
+    nvlink: LinkParams = LinkParams(latency=0.7e-6, bandwidth=42.1 * GB)
+    xbus: LinkParams = LinkParams(latency=0.4e-6, bandwidth=58.0 * GB)
+    nic: LinkParams = LinkParams(latency=0.8e-6, bandwidth=9.32 * GB)
+    # Effective single-stream host memcpy bandwidth (DDR4 on the AC922,
+    # as achieved by memcpy-style packing loops, not STREAM triad peak).
+    host_mem: LinkParams = LinkParams(latency=0.05e-6, bandwidth=17.0 * GB)
+    # On-device copies (DtoD same GPU) run at HBM2 speeds.
+    device_mem: LinkParams = LinkParams(latency=0.1e-6, bandwidth=700.0 * GB)
+
+    gpu_memory_capacity: int = 16 * GB  # V100 (16 GB variant)
+    gpu_mem_bandwidth: float = 800.0 * GB  # achievable HBM2 stream bandwidth
+    host_mem_channels: int = 1  # effective concurrent memcpy streams per node (NUMA-limited)
+    nic_rails: int = 2  # Summit nodes have dual-rail EDR InfiniBand
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.sockets_per_node * self.gpus_per_socket
+
+    @property
+    def total_gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+
+@dataclass(frozen=True)
+class CudaConfig:
+    """CUDA runtime behaviour (what application-level host staging pays)."""
+
+    # Fixed cost of a cudaMemcpy(Async) + cudaStreamSynchronize pair for a
+    # small transfer: driver launch + synchronisation.  This is the term
+    # that makes host staging expensive for *small* messages.
+    memcpy_launch_overhead: float = 6.0e-6
+    kernel_launch_overhead: float = 5.0e-6
+    stream_sync_overhead: float = 1.5e-6
+    # Opening a CUDA IPC handle is very expensive; UCX caches handles.
+    ipc_handle_open_cost: float = 80.0e-6
+    ipc_cached_open_cost: float = 0.4e-6
+    event_record_overhead: float = 0.4e-6
+
+
+@dataclass(frozen=True)
+class UcxConfig:
+    """UCX protocol selection and per-operation costs."""
+
+    # Host-memory rendezvous threshold (UCX_RNDV_THRESH for host buffers).
+    host_rndv_threshold: int = 16 * KB
+    # Device-memory eager limit: below this, GDRCopy-based eager is used
+    # (when available); at/above it, rendezvous with CUDA IPC (intra-node)
+    # or pipelined staging (inter-node).
+    device_eager_threshold: int = 4 * KB
+    gdrcopy_enabled: bool = True
+    # GDRCopy: CPU-driven BAR1 window copies. Low latency, modest bandwidth.
+    gdrcopy_latency: float = 0.55e-6
+    gdrcopy_bandwidth: float = 6.0 * GB
+    # Pipelined host staging for inter-node device rendezvous: chunk size of
+    # the bounce buffers (UCX_RNDV_PIPELINE defaults are of this order).
+    pipeline_chunk: int = 512 * KB
+    pipeline_num_stages: int = 2  # double buffering
+    pipeline_per_chunk_cost: float = 0.8e-6  # progress + DMA kicks per chunk
+    # Summit-era UCX stages inter-node device rendezvous through host memory;
+    # setting this True instead takes the direct GPUDirect-RDMA route
+    # (ablation: what a GDR-capable fabric would buy).
+    gpudirect_rdma: bool = False
+    # Without GDRCopy, small device messages fall back to cudaMemcpy-staged
+    # eager inside UCT, paying the launch overhead both sides.
+    no_gdr_staging_overhead: float = 7.0e-6
+
+    # Per-call software costs of the UCP layer.
+    send_overhead: float = 0.25e-6  # ucp_tag_send_nb bookkeeping
+    recv_overhead: float = 0.25e-6  # ucp_tag_recv_nb bookkeeping
+    tag_match_cost: float = 0.10e-6  # scan/match of one queue entry
+    request_alloc_cost: float = 0.05e-6
+    progress_overhead: float = 0.15e-6  # one ucp_worker_progress poll
+    rndv_rts_cost: float = 0.30e-6  # control message handling (each side)
+    # Eager host protocol copies through bounce buffers on both sides.
+    eager_copy_per_side: bool = True
+    # Inter-node host rendezvous registers (pins) the source pages with the
+    # NIC before the RDMA get; amortised cost per message.
+    host_rndv_reg_overhead: float = 14.0e-6
+
+
+@dataclass(frozen=True)
+class TagConfig:
+    """The 64-bit tag split of the paper's Fig. 3 (MSG|PE|CNT)."""
+
+    msg_bits: int = 4
+    pe_bits: int = 32
+    cnt_bits: int = 28
+
+    def __post_init__(self) -> None:
+        if self.msg_bits + self.pe_bits + self.cnt_bits != 64:
+            raise ValueError(
+                "tag bit fields must sum to 64, got "
+                f"{self.msg_bits}+{self.pe_bits}+{self.cnt_bits}"
+            )
+        if min(self.msg_bits, self.pe_bits, self.cnt_bits) < 1:
+            raise ValueError("all tag bit fields must be >= 1")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Per-layer software overheads of the programming models.
+
+    Calibration anchors (see EXPERIMENTS.md for the full derivation):
+
+    * Charm++ small-message host latency on Summit is a small number of μs;
+      scheduler pick-up + entry dispatch + converse handling land there.
+    * The paper measures ~8 μs of one-way AMPI time spent *outside* UCX
+      (§IV-B1): matching, message creation, callbacks, heap allocations and
+      the delayed receive post.  The ``ampi_*`` costs sum to that.
+    * OpenMPI's thin path over UCX adds well under 1 μs per side.
+    * Charm4py pays Python/Cython per-call costs of several μs and
+      serialisation bandwidth far below memcpy for host payloads.
+    """
+
+    # -- Converse / Charm++ core -------------------------------------------
+    scheduler_pickup_overhead: float = 0.20e-6  # dequeue + handler lookup
+    entry_dispatch_overhead: float = 0.45e-6  # unpack env + invoke entry
+    converse_header_bytes: int = 96  # CmiMessage + envelope on the wire
+    charm_send_overhead: float = 0.50e-6  # proxy call, env setup, marshalling
+    # Messages above this size are packed/unpacked with an explicit copy on
+    # the Charm++ side (message payloads always travel inside the message).
+    charm_pack_copy: bool = True
+    post_entry_overhead: float = 0.30e-6  # running the post entry method
+    callback_invoke_overhead: float = 0.30e-6
+    reduction_overhead: float = 0.40e-6  # per contribution/combine step
+
+    # -- machine layer (the paper's contribution) ---------------------------
+    lrts_send_device_overhead: float = 0.35e-6  # tag gen + metadata fill
+    lrts_recv_device_overhead: float = 0.35e-6
+    device_metadata_bytes: int = 64  # serialized CkDeviceBuffer in the msg
+    heap_alloc_cost: float = 0.15e-6  # per metadata allocation (paper notes)
+
+    # -- AMPI ----------------------------------------------------------------
+    ampi_send_overhead: float = 3.0e-6  # msg creation, comm lookup, locality
+    ampi_recv_overhead: float = 2.2e-6  # request handling, matching
+    # AMPI copies user host payloads between user buffers and its message
+    # objects on both sides of the rendezvous path (datatype handling).
+    ampi_payload_copy: bool = True
+    # Device-pointer detection (paper §III-C: per-PE software cache of
+    # addresses known to be on the GPU).
+    gpu_pointer_check_cost: float = 0.45e-6  # cuPointerGetAttribute on miss
+    gpu_pointer_cache_hit_cost: float = 0.05e-6
+    ampi_match_cost: float = 0.15e-6  # per unexpected/posted queue probe
+    ampi_callback_overhead: float = 0.9e-6  # completion callbacks (x2 paths)
+    ampi_metadata_allocs: int = 2  # heap allocations noted in §IV-B1
+    # Reproduction of the measured artifact in §IV-B2: AMPI-H bandwidth dips
+    # at 128 KB ("due to a sudden increase in latency, which is being
+    # investigated").  Modelled as a memory-registration cost kicking in at
+    # the pin threshold of AMPI's zero-copy host path; disable to ablate.
+    model_ampi_128k_dip: bool = True
+    ampi_pin_threshold: int = 128 * KB
+    ampi_pin_overhead: float = 14.0e-6
+    ampi_pin_bandwidth: float = 60.0 * GB
+
+    # -- OpenMPI baseline -----------------------------------------------------
+    ompi_send_overhead: float = 0.30e-6
+    ompi_recv_overhead: float = 0.30e-6
+
+    # -- Charm4py --------------------------------------------------------------
+    # Python-level entry/channel call cost (interpreter + object glue).
+    py_call_overhead: float = 3.2e-6
+    # Crossing the Cython layer into the Charm++ runtime.
+    cython_crossing_overhead: float = 0.5e-6
+    # Host payloads are serialised (pickled) at this bandwidth; this is what
+    # crushes Charm4py-H for large messages (Fig. 10c / 11c).
+    pickle_bandwidth: float = 5.0 * GB
+    pickle_overhead: float = 1.0e-6
+    # Future/coroutine scheduling on fulfilment.
+    future_fulfill_overhead: float = 1.5e-6
+    # Per-message python-side driving cost of device channel sends; together
+    # with the sequential coroutine receive path this caps Charm4py device
+    # bandwidth below Charm++'s (35.5 vs 44.7 GB/s intra-node in §IV-B2).
+    charm4py_device_send_overhead: float = 3.5e-6
+    # Python-side cost of handling a device *rendezvous* receive (RTS ->
+    # post -> completion each cross the Cython layer); per message.
+    charm4py_rndv_post_overhead: float = 15.0e-6
+    # Inter-node device rendezvous is chunk-pipelined; Charm4py's runtime
+    # drives buffer recycling from Python, costing this much per chunk.
+    # This is what holds Charm4py at ~6 GB/s inter-node (§IV-B2).
+    charm4py_pipeline_chunk_overhead: float = 33.0e-6
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Top-level bundle consumed by :class:`repro.core.api.Machine`."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    cuda: CudaConfig = field(default_factory=CudaConfig)
+    ucx: UcxConfig = field(default_factory=UcxConfig)
+    tags: TagConfig = field(default_factory=TagConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    # Carry real numpy payloads in buffers at/below this size; larger buffers
+    # are virtual (size-only).  Keeps paper-scale Jacobi domains cheap.
+    payload_materialize_limit: int = 4 * MB
+    trace: bool = False
+    seed: int = 0
+
+    def with_nodes(self, nodes: int) -> "MachineConfig":
+        return replace(self, topology=replace(self.topology, nodes=nodes))
+
+    def without_gdrcopy(self) -> "MachineConfig":
+        return replace(self, ucx=replace(self.ucx, gdrcopy_enabled=False))
+
+
+def summit(nodes: int = 2, **overrides) -> MachineConfig:
+    """The calibrated Summit configuration used by all paper experiments."""
+    cfg = MachineConfig(topology=TopologyConfig(nodes=nodes))
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def default_config() -> MachineConfig:
+    """Alias for a 2-node Summit machine (enough for all microbenchmarks)."""
+    return summit(nodes=2)

@@ -1,0 +1,14 @@
+"""Converse: the Charm++ runtime's portable messaging and scheduling layer.
+
+Sits between the programming models (Charm++/AMPI/Charm4py cores) and the
+machine layer (:mod:`repro.core.machine_ucx`).  Provides processing elements
+(PEs) with message queues and schedulers, the ``CmiMessage`` envelope, and
+the ``Cmi*`` messaging entry points — including ``CmiSendDevice``, the
+Converse-level hook of the paper's GPU-aware path (Fig. 6).
+"""
+
+from repro.converse.message import CmiMessage
+from repro.converse.pe import Pe
+from repro.converse.cmi import Converse
+
+__all__ = ["CmiMessage", "Converse", "Pe"]

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the GPU-aware UCX machine layer.
+
+Three pieces:
+
+* :mod:`repro.core.device_tags` — the 64-bit tag generation scheme of the
+  paper's Fig. 3 (``MSG_BITS | PE_BITS | CNT_BITS``) that separates the
+  device-data path from host-side messaging.
+* :mod:`repro.core.device_buffer` — the metadata objects of Fig. 5
+  (``CmiDeviceBuffer`` / ``CkDeviceBuffer`` / ``DeviceRdmaOp``) exchanged
+  between communication endpoints to support message-driven execution.
+* :mod:`repro.core.machine_ucx` — the UCX machine layer itself, exposing
+  ``LrtsSendDevice`` / ``LrtsRecvDevice`` plus the host-message path that
+  Converse uses for everything else.
+"""
+
+from repro.core.device_tags import MsgType, TagGenerator, decode_tag, make_tag
+from repro.core.device_buffer import (
+    CkDeviceBuffer,
+    CmiDeviceBuffer,
+    DeviceRdmaOp,
+    DeviceRecvType,
+)
+from repro.core.machine_ucx import UcxMachineLayer
+
+__all__ = [
+    "CkDeviceBuffer",
+    "CmiDeviceBuffer",
+    "DeviceRdmaOp",
+    "DeviceRecvType",
+    "MsgType",
+    "TagGenerator",
+    "UcxMachineLayer",
+    "decode_tag",
+    "make_tag",
+]

@@ -1,0 +1,91 @@
+"""Metadata objects for GPU communication (paper Figs. 5 and the
+``LrtsRecvDevice`` signature of §III-A).
+
+``CmiDeviceBuffer`` is the Converse-layer view of one GPU buffer being sent:
+source buffer, size, and the UCP tag assigned by the machine layer.
+``CkDeviceBuffer`` adds the Charm++-core fields (a completion callback).
+``DeviceRdmaOp`` is what a *receiver* hands to ``LrtsRecvDevice``: the
+destination buffer plus the sender's tag, along with a ``DeviceRecvType``
+that selects which programming model's handler runs on completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.hardware.memory import Buffer
+
+
+class DeviceRecvType(enum.IntEnum):
+    """Which model posted the receive; selects the completion handler
+    invoked by the machine layer once the GPU data has arrived."""
+
+    CHARM = 1
+    AMPI = 2
+    CHARM4PY = 3
+
+
+@dataclass
+class CmiDeviceBuffer:
+    """Converse-layer metadata for one source GPU buffer (paper Fig. 5).
+
+    ``tag`` is 0 until the UCX machine layer assigns one in
+    ``LrtsSendDevice``; afterwards the struct rides inside the host-side
+    message so the receiver can post the matching tagged receive.
+    """
+
+    ptr: Buffer  # source GPU buffer
+    size: int
+    tag: int = 0
+    src_pe: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("device buffer size must be positive")
+        if self.size > self.ptr.size:
+            raise ValueError(
+                f"send size {self.size} exceeds buffer size {self.ptr.size}"
+            )
+        if not self.ptr.on_device:
+            raise ValueError("CmiDeviceBuffer wraps device memory only")
+
+
+@dataclass
+class CkDeviceBuffer(CmiDeviceBuffer):
+    """Charm++-core metadata: adds the completion callback (CkCallback)."""
+
+    cb: Optional[Callable[[], None]] = None
+
+    @classmethod
+    def wrap(cls, buf: Buffer, size: Optional[int] = None,
+             cb: Optional[Callable[[], None]] = None) -> "CkDeviceBuffer":
+        """Convenience used at entry-method invocation sites:
+        ``peer.recv(CkDeviceBuffer.wrap(gpu_data), ...)``."""
+        return cls(ptr=buf, size=size if size is not None else buf.size, cb=cb)
+
+
+@dataclass
+class DeviceRdmaOp:
+    """Receive descriptor passed to ``LrtsRecvDevice`` (paper §III-A).
+
+    Carries everything needed to post ``ucp_tag_recv_nb``: destination GPU
+    buffer, expected size, and the tag set by the sender; plus the handler
+    context of the posting model.
+    """
+
+    dest: Buffer
+    size: int
+    tag: int
+    recv_type: DeviceRecvType
+    on_complete: Optional[Callable[["DeviceRdmaOp"], None]] = None
+    context: Any = None  # model-specific (e.g. the pending entry invocation)
+
+    def __post_init__(self) -> None:
+        if not self.dest.on_device:
+            raise ValueError("DeviceRdmaOp destination must be device memory")
+        if self.size > self.dest.size:
+            raise ValueError(
+                f"recv size {self.size} exceeds destination size {self.dest.size}"
+            )

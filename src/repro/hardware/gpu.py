@@ -1,0 +1,140 @@
+"""GPUs, streams, and the kernel cost model.
+
+A :class:`Stream` preserves CUDA's in-order execution semantics: operations
+enqueued on one stream run one after another; ``synchronize`` completes when
+everything enqueued so far has drained.  Kernels are cost-modelled as
+memory-bandwidth-bound (the Jacobi stencil is) with a roofline fallback for
+FLOP-bound kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.primitives import SimEvent
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Cost description of one GPU kernel launch.
+
+    ``bytes_moved`` is DRAM traffic (reads + writes); ``flops`` counts
+    double-precision operations.  Duration is the roofline maximum of the
+    two, plus the launch overhead charged by the stream.
+    """
+
+    name: str
+    bytes_moved: int
+    flops: int = 0
+    body: Optional[Callable[[], None]] = None  # functional effect, if any
+
+    def duration(self, mem_bandwidth: float, flop_rate: float) -> float:
+        t_mem = self.bytes_moved / mem_bandwidth
+        t_flop = self.flops / flop_rate if self.flops else 0.0
+        return max(t_mem, t_flop)
+
+
+@dataclass
+class DeviceEventRecord:
+    """A recorded cudaEvent: carries the completion event of the stream
+    position at which it was recorded."""
+
+    stream: "Stream"
+    fence: SimEvent
+
+
+class Stream:
+    """An in-order CUDA stream.
+
+    Operations are chained: each op starts when its predecessor's completion
+    event fires.  ``enqueue`` takes a *starter* callable that, when invoked,
+    begins the operation and returns its completion :class:`SimEvent`.
+    """
+
+    def __init__(self, sim: Simulator, gpu: "Gpu", index: int) -> None:
+        self.sim = sim
+        self.gpu = gpu
+        self.index = index
+        self._tail: Optional[SimEvent] = None
+        self.ops_enqueued = 0
+
+    def enqueue(self, starter: Callable[[], SimEvent]) -> SimEvent:
+        """Enqueue an async operation; returns its completion event."""
+        done = SimEvent(self.sim, name=f"gpu{self.gpu.index}.s{self.index}.op")
+        self.ops_enqueued += 1
+
+        def _start(_prev: Optional[SimEvent] = None) -> None:
+            starter().add_callback(lambda ev: done.succeed(ev.result() if ev.ok else None))
+
+        if self._tail is None or self._tail.triggered:
+            _start()
+        else:
+            self._tail.add_callback(_start)
+        self._tail = done
+        return done
+
+    def drained(self) -> SimEvent:
+        """Event that fires when all currently-enqueued work completes."""
+        ev = SimEvent(self.sim, name=f"gpu{self.gpu.index}.s{self.index}.drained")
+        if self._tail is None or self._tail.triggered:
+            ev.succeed(None)
+        else:
+            self._tail.add_callback(lambda _e: ev.succeed(None))
+        return ev
+
+
+class Gpu:
+    """One V100: memory allocator lives in :class:`Machine`; this class owns
+    streams and the kernel execution cost model."""
+
+    #: double-precision roofline (V100: ~7 TF/s FP64)
+    FLOP_RATE = 7.0e12
+
+    def __init__(self, sim: Simulator, index: int, node: int, mem_bandwidth: float) -> None:
+        self.sim = sim
+        self.index = index
+        self.node = node
+        self.mem_bandwidth = mem_bandwidth
+        self._streams: list[Stream] = []
+        # Kernels from different streams share the SMs: model the execution
+        # units as a single FIFO resource (memory-bound kernels saturate the
+        # device, so concurrent kernels effectively serialise).
+        self.exec_units = Resource(sim, capacity=1, name=f"gpu{index}.exec")
+        self.default_stream = self.create_stream()
+        self.kernels_launched = 0
+
+    def create_stream(self) -> Stream:
+        s = Stream(self.sim, self, len(self._streams))
+        self._streams.append(s)
+        return s
+
+    def launch_kernel(
+        self,
+        kernel: Kernel,
+        stream: Optional[Stream] = None,
+        launch_overhead: float = 5.0e-6,
+    ) -> SimEvent:
+        """Launch ``kernel`` on ``stream`` (default stream if None).
+
+        The functional body (if any) runs when the kernel *completes*, so
+        data dependencies through streams behave like CUDA's.
+        """
+        stream = stream or self.default_stream
+        self.kernels_launched += 1
+        dur = launch_overhead + kernel.duration(self.mem_bandwidth, self.FLOP_RATE)
+
+        def _starter() -> SimEvent:
+            ev = SimEvent(self.sim, name=f"kernel.{kernel.name}")
+
+            def _complete(_occ: SimEvent) -> None:
+                if kernel.body is not None:
+                    kernel.body()
+                ev.succeed(None)
+
+            self.exec_units.occupy(dur).add_callback(_complete)
+            return ev
+
+        return stream.enqueue(_starter)

@@ -1,0 +1,161 @@
+"""Host and device buffers with optional real payloads.
+
+A :class:`Buffer` is the unit every layer passes around: it knows *where* it
+lives (host memory of a node, or the memory of a specific GPU), *how big* it
+is, and — when small enough to be worth materialising — carries a real NumPy
+array so tests can verify end-to-end data integrity.  Paper-scale buffers
+(gigabytes of Jacobi domain) are *virtual*: size-only, so the simulation
+never allocates them.
+
+Buffers have process-unique integer ``address``\\ es; AMPI's device-pointer
+software cache (paper §III-C) keys on these, exactly as the real
+implementation caches raw CUDA pointers.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+import numpy as np
+
+
+class MemoryKind(enum.Enum):
+    HOST = "host"
+    DEVICE = "device"
+
+
+class OutOfMemory(RuntimeError):
+    """Device allocator exhausted (V100s have 16 GB)."""
+
+
+_address_counter = itertools.count(0x7F00_0000_0000)
+
+
+class Buffer:
+    """A sized region of host or device memory.
+
+    Parameters
+    ----------
+    kind:
+        HOST or DEVICE.
+    size:
+        Size in bytes; must be positive.
+    node:
+        Index of the owning node.
+    device:
+        GPU index *within the machine* for DEVICE buffers; ``None`` for host.
+    data:
+        Optional NumPy array (flattened view is used). When present,
+        ``data.nbytes`` must equal ``size``.
+    """
+
+    __slots__ = ("kind", "size", "node", "device", "data", "address", "freed")
+
+    def __init__(
+        self,
+        kind: MemoryKind,
+        size: int,
+        node: int,
+        device: Optional[int] = None,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive, got {size}")
+        if kind is MemoryKind.DEVICE and device is None:
+            raise ValueError("device buffers need a device index")
+        if kind is MemoryKind.HOST and device is not None:
+            raise ValueError("host buffers must not name a device")
+        if data is not None and data.nbytes != size:
+            raise ValueError(f"data is {data.nbytes} bytes but size={size}")
+        self.kind = kind
+        self.size = size
+        self.node = node
+        self.device = device
+        self.data = data
+        self.address = next(_address_counter)
+        self.freed = False
+
+    # -- predicates ---------------------------------------------------------
+    @property
+    def on_device(self) -> bool:
+        return self.kind is MemoryKind.DEVICE
+
+    @property
+    def is_virtual(self) -> bool:
+        """True when the buffer tracks size only (no real payload)."""
+        return self.data is None
+
+    def same_location(self, other: "Buffer") -> bool:
+        return (
+            self.kind is other.kind
+            and self.node == other.node
+            and self.device == other.device
+        )
+
+    # -- functional payload movement -----------------------------------------
+    def copy_from(self, src: "Buffer", nbytes: Optional[int] = None) -> None:
+        """Copy payload bytes from ``src`` (functional effect only; timing is
+        charged by whoever calls this).  Virtual endpoints degrade gracefully:
+        if either side has no payload the copy is a no-op on data."""
+        if self.freed or src.freed:
+            raise RuntimeError("use-after-free of a Buffer")
+        n = self.size if nbytes is None else nbytes
+        if n > self.size or n > src.size:
+            raise ValueError(
+                f"copy of {n} bytes exceeds buffer sizes (dst={self.size}, src={src.size})"
+            )
+        if self.data is None or src.data is None:
+            return
+        dst_flat = self.data.reshape(-1).view(np.uint8)
+        src_flat = src.data.reshape(-1).view(np.uint8)
+        dst_flat[:n] = src_flat[:n]
+
+    def fill(self, byte: int) -> None:
+        if self.data is not None:
+            self.data.reshape(-1).view(np.uint8)[:] = byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = f"gpu{self.device}" if self.on_device else f"host(node{self.node})"
+        tag = "virtual" if self.is_virtual else "real"
+        return f"<Buffer {tag} {self.size}B @{where} addr=0x{self.address:x}>"
+
+
+class DeviceAllocator:
+    """Bump allocator with capacity tracking for one GPU's memory."""
+
+    def __init__(self, capacity: int, device: int, node: int) -> None:
+        self.capacity = capacity
+        self.device = device
+        self.node = node
+        self.used = 0
+        self.live_buffers = 0
+
+    def alloc(
+        self,
+        size: int,
+        data: Optional[np.ndarray] = None,
+    ) -> Buffer:
+        if self.used + size > self.capacity:
+            raise OutOfMemory(
+                f"GPU {self.device}: requested {size} bytes, "
+                f"{self.capacity - self.used} free of {self.capacity}"
+            )
+        self.used += size
+        self.live_buffers += 1
+        return Buffer(MemoryKind.DEVICE, size, self.node, self.device, data)
+
+    def free(self, buf: Buffer) -> None:
+        if buf.device != self.device:
+            raise ValueError("buffer belongs to a different GPU")
+        if buf.freed:
+            raise RuntimeError("double free")
+        buf.freed = True
+        self.used -= buf.size
+        self.live_buffers -= 1
+
+
+def host_buffer(node: int, size: int, data: Optional[np.ndarray] = None) -> Buffer:
+    """Allocate a host buffer on ``node`` (host memory is not capacity-limited)."""
+    return Buffer(MemoryKind.HOST, size, node, None, data)

@@ -1,0 +1,195 @@
+"""Node and machine topology: the simulated Summit.
+
+Builds the link graph of an AC922 cluster and resolves routes between
+buffer locations.  Routes are lists of :class:`~repro.hardware.links.Link`
+objects; protocol code composes them (e.g. the pipelined inter-node device
+rendezvous stages through host memory and therefore uses the NVLink route
+and the NIC route separately rather than one end-to-end route).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.hardware.links import Link
+from repro.hardware.memory import Buffer, DeviceAllocator, MemoryKind, host_buffer
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a buffer lives: host memory of a node, or one GPU's memory.
+
+    ``socket`` is a routing hint for host locations: inter-node traffic
+    leaves/enters through the NIC rail of that socket (socket-affine HCA
+    binding).  Device locations derive their socket from the GPU.
+    """
+
+    node: int
+    kind: MemoryKind
+    device: Optional[int] = None  # global GPU index for DEVICE locations
+    socket: int = 0
+
+    @property
+    def on_device(self) -> bool:
+        return self.kind is MemoryKind.DEVICE
+
+
+class Node:
+    """One AC922 node: 2 sockets x 3 GPUs, X-Bus, one EDR NIC.
+
+    Physical links are full duplex, so each is modelled as a *pair* of
+    directional :class:`Link` resources: ``*_tx`` carries traffic leaving the
+    component, ``*_rx`` traffic entering it.  Bidirectional halo exchanges in
+    Jacobi3D therefore run at full rate both ways, as on the real machine.
+    """
+
+    def __init__(self, machine: "Machine", index: int) -> None:
+        cfg = machine.cfg.topology
+        sim = machine.sim
+        self.machine = machine
+        self.index = index
+        self.nvlink_tx: List[Link] = [
+            Link(sim, cfg.nvlink, name=f"n{index}.nvlink{g}.tx")
+            for g in range(cfg.gpus_per_node)
+        ]
+        self.nvlink_rx: List[Link] = [
+            Link(sim, cfg.nvlink, name=f"n{index}.nvlink{g}.rx")
+            for g in range(cfg.gpus_per_node)
+        ]
+        # X-Bus directions: [0] socket0->socket1, [1] socket1->socket0
+        self.xbus_dir: List[Link] = [
+            Link(sim, cfg.xbus, name=f"n{index}.xbus.d{d}") for d in range(2)
+        ]
+        # Dual-rail EDR InfiniBand: one rail per socket (socket-affine HCA
+        # binding, as on Summit).  A single process pair therefore sees one
+        # rail's bandwidth; a full node drives both.
+        self.nic_tx: List[Link] = [
+            Link(sim, cfg.nic, name=f"n{index}.nic{r}.tx") for r in range(cfg.nic_rails)
+        ]
+        self.nic_rx: List[Link] = [
+            Link(sim, cfg.nic, name=f"n{index}.nic{r}.rx") for r in range(cfg.nic_rails)
+        ]
+        self.host_mem = Link(
+            sim, cfg.host_mem, name=f"n{index}.hostmem", capacity=cfg.host_mem_channels
+        )
+        # per-GPU HBM channel for same-device copies (capacity 2: copy engines)
+        self.hbm: List[Link] = [
+            Link(sim, cfg.device_mem, name=f"n{index}.hbm{g}", capacity=2)
+            for g in range(cfg.gpus_per_node)
+        ]
+
+    def xbus(self, from_socket: int, to_socket: int) -> Link:
+        return self.xbus_dir[0] if from_socket < to_socket else self.xbus_dir[1]
+
+
+class Machine:
+    """The whole simulated cluster plus its clock and tracer."""
+
+    def __init__(self, cfg: MachineConfig) -> None:
+        self.cfg = cfg
+        self.sim = Simulator()
+        self.tracer = Tracer(self.sim, enabled=cfg.trace)
+        topo = cfg.topology
+        self.nodes: List[Node] = [Node(self, n) for n in range(topo.nodes)]
+        self.allocators: Dict[int, DeviceAllocator] = {
+            g: DeviceAllocator(topo.gpu_memory_capacity, g, self.node_of_gpu(g))
+            for g in range(topo.total_gpus)
+        }
+
+    # -- indexing -------------------------------------------------------------
+    def node_of_gpu(self, gpu: int) -> int:
+        return gpu // self.cfg.topology.gpus_per_node
+
+    def local_gpu(self, gpu: int) -> int:
+        return gpu % self.cfg.topology.gpus_per_node
+
+    def socket_of_gpu(self, gpu: int) -> int:
+        return self.local_gpu(gpu) // self.cfg.topology.gpus_per_socket
+
+    def location_of(self, buf: Buffer) -> Location:
+        if buf.on_device:
+            return Location(buf.node, MemoryKind.DEVICE, buf.device)
+        return Location(buf.node, MemoryKind.HOST, None)
+
+    # -- allocation -------------------------------------------------------------
+    def _maybe_payload(self, size: int, materialize: Optional[bool]) -> Optional[np.ndarray]:
+        if materialize is None:
+            materialize = size <= self.cfg.payload_materialize_limit
+        return np.zeros(size, dtype=np.uint8) if materialize else None
+
+    def alloc_device(
+        self, gpu: int, size: int, materialize: Optional[bool] = None
+    ) -> Buffer:
+        """Allocate ``size`` bytes on ``gpu``; payload materialisation follows
+        ``MachineConfig.payload_materialize_limit`` unless overridden."""
+        return self.allocators[gpu].alloc(size, self._maybe_payload(size, materialize))
+
+    def free_device(self, buf: Buffer) -> None:
+        self.allocators[buf.device].free(buf)
+
+    def alloc_host(
+        self, node: int, size: int, materialize: Optional[bool] = None
+    ) -> Buffer:
+        return host_buffer(node, size, self._maybe_payload(size, materialize))
+
+    # -- routing --------------------------------------------------------------
+    def route(self, src: Location, dst: Location) -> List[Link]:
+        """Links traversed by a direct transfer from ``src`` to ``dst``.
+
+        The route is symmetric; protocol layers decide *whether* a direct
+        route is usable (e.g. inter-node device transfers normally stage
+        through host memory instead of taking the GPUDirect route below).
+        """
+        same_loc = (src.node == dst.node and src.kind is dst.kind
+                    and src.device == dst.device)
+        if same_loc:
+            # same-location copy: same-GPU DtoD uses HBM; host-host uses hostmem
+            if src.on_device:
+                node = self.nodes[src.node]
+                return [node.hbm[self.local_gpu(src.device)]]
+            return [self.nodes[src.node].host_mem]
+
+        same_node = src.node == dst.node
+        links: List[Link] = []
+
+        if same_node:
+            node = self.nodes[src.node]
+            if src.on_device and dst.on_device:
+                a, b = self.local_gpu(src.device), self.local_gpu(dst.device)
+                links = [node.nvlink_tx[a]]
+                sa, sb = self.socket_of_gpu(src.device), self.socket_of_gpu(dst.device)
+                if sa != sb:
+                    links.append(node.xbus(sa, sb))
+                links.append(node.nvlink_rx[b])
+            elif src.on_device:
+                links = [node.nvlink_tx[self.local_gpu(src.device)]]
+            elif dst.on_device:
+                links = [node.nvlink_rx[self.local_gpu(dst.device)]]
+            else:
+                links = [node.host_mem]
+            return links
+
+        # inter-node
+        src_node, dst_node = self.nodes[src.node], self.nodes[dst.node]
+        rails = self.cfg.topology.nic_rails
+        src_rail = (self.socket_of_gpu(src.device) if src.on_device else src.socket) % rails
+        dst_rail = (self.socket_of_gpu(dst.device) if dst.on_device else dst.socket) % rails
+        if src.on_device:
+            links.append(src_node.nvlink_tx[self.local_gpu(src.device)])
+        links.append(src_node.nic_tx[src_rail])
+        links.append(dst_node.nic_rx[dst_rail])
+        if dst.on_device:
+            links.append(dst_node.nvlink_rx[self.local_gpu(dst.device)])
+        return links
+
+    def host_location(self, node: int, socket: int = 0) -> Location:
+        return Location(node, MemoryKind.HOST, None, socket=socket)
+
+    def device_location(self, gpu: int) -> Location:
+        return Location(self.node_of_gpu(gpu), MemoryKind.DEVICE, gpu)

@@ -1,0 +1,13 @@
+"""OpenMPI baseline: a CUDA-aware MPI implementation directly over UCX.
+
+The paper uses OpenMPI as the reference point for AMPI (§IV-A): both move
+GPU data through UCX, so the performance difference isolates the layers
+*above* UCX.  This model keeps that property: no chare indirection, no
+metadata side-message, receives posted straight into ``ucp_tag_recv_nb``
+(so the receiver never waits for an envelope), and per-call overheads an
+order of magnitude below AMPI's.
+"""
+
+from repro.openmpi.mpi import ANY_SOURCE, ANY_TAG, OmpiRank, OpenMpi
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "OmpiRank", "OpenMpi"]

@@ -1,0 +1,197 @@
+"""OpenMPI-over-UCX: matching delegated to UCP tags.
+
+MPI matching ``(communicator, source, tag)`` is encoded into the 64-bit UCP
+tag — the standard trick of UCX-based MPI implementations::
+
+    | ctx (8 bits) | source rank (24 bits) | user tag (32 bits) |
+
+``MPI_ANY_SOURCE``/``MPI_ANY_TAG`` become wildcard masks.  Receives are
+posted to UCX immediately — the structural advantage over AMPI's
+metadata-message design that the paper quantifies at ~8 μs per message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.ampi.mpi import MpiStatus, MpiTruncationError
+from repro.ampi.request import MpiRequest, waitall
+from repro.config import MachineConfig, default_config
+from repro.hardware.memory import Buffer
+from repro.hardware.topology import Machine
+from repro.sim.primitives import AllOf, SimEvent
+from repro.sim.process import Process
+from repro.ucx.context import UcpContext
+from repro.ucx.status import UcsStatus
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_CTX_SHIFT = 56
+_SRC_SHIFT = 32
+_SRC_BITS = 24
+_TAG_BITS = 32
+_FULL = (1 << 64) - 1
+
+
+def encode_mpi_tag(src: int, tag: int, ctx: int = 1) -> int:
+    if not 0 <= src < (1 << _SRC_BITS):
+        raise ValueError(f"source rank {src} out of range")
+    if not 0 <= tag < (1 << _TAG_BITS):
+        raise ValueError(f"tag {tag} out of range")
+    return (ctx << _CTX_SHIFT) | (src << _SRC_SHIFT) | tag
+
+
+def decode_mpi_tag(ucp_tag: int) -> tuple[int, int]:
+    """Returns (source, tag)."""
+    return (ucp_tag >> _SRC_SHIFT) & ((1 << _SRC_BITS) - 1), ucp_tag & ((1 << _TAG_BITS) - 1)
+
+
+def match_mask(src: int, tag: int) -> int:
+    mask = _FULL
+    if src == ANY_SOURCE:
+        mask &= ~(((1 << _SRC_BITS) - 1) << _SRC_SHIFT)
+    if tag == ANY_TAG:
+        mask &= ~((1 << _TAG_BITS) - 1)
+    return mask
+
+
+class OmpiRank:
+    """One OpenMPI process (one per GPU, as in the paper's runs)."""
+
+    def __init__(self, lib: "OpenMpi", rank: int) -> None:
+        self.lib = lib
+        self.rank = rank
+        self.gpu = rank
+        self.node = lib.machine.node_of_gpu(rank)
+        self.worker = lib.ucp.create_worker(rank, self.node, lib.machine.socket_of_gpu(rank))
+        self.pe = rank  # API compatibility with AmpiRank
+        self._cpu_free = 0.0
+
+    def _cpu_delay(self, cost: float) -> float:
+        """Serialise per-call CPU costs of back-to-back non-blocking ops."""
+        now = self.sim.now
+        start = max(now, self._cpu_free)
+        self._cpu_free = start + cost
+        return self._cpu_free - now
+
+    @property
+    def size(self) -> int:
+        return self.lib.n_ranks
+
+    @property
+    def sim(self):
+        return self.lib.machine.sim
+
+    @property
+    def charm(self):  # API compatibility shim: exposes .cuda
+        return self.lib
+
+    # -- point-to-point ------------------------------------------------------------
+    def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"ompi.send r{self.rank}->r{dst}")
+        ucp_tag = encode_mpi_tag(self.rank, tag)
+
+        def _post() -> None:
+            ep = self.worker.ep(dst)
+            self.worker.tag_send_nb(
+                ep, buf, nbytes, ucp_tag, cb=lambda _req: ev.succeed(None)
+            )
+
+        self.sim.schedule(self._cpu_delay(self.lib.rt.ompi_send_overhead), _post)
+        return ev
+
+    def recv(
+        self, buf: Buffer, capacity: int, src: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"ompi.recv r{self.rank}")
+        want = encode_mpi_tag(0 if src == ANY_SOURCE else src, 0 if tag == ANY_TAG else tag)
+        mask = match_mask(src, tag)
+
+        def _complete(req) -> None:
+            if req.status is UcsStatus.ERR_MESSAGE_TRUNCATED:
+                ev.fail(MpiTruncationError("posted receive too small"))
+                return
+            got_tag, got_len = req.info
+            s, t = decode_mpi_tag(got_tag)
+            ev.succeed(MpiStatus(source=s, tag=t, count=got_len))
+
+        self.sim.schedule(
+            self._cpu_delay(self.lib.rt.ompi_recv_overhead),
+            lambda: self.worker.tag_recv_nb(buf, capacity, want, mask, cb=_complete),
+        )
+        return ev
+
+    def isend(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> MpiRequest:
+        return MpiRequest(self.send(buf, nbytes, dst, tag), "send")
+
+    def irecv(
+        self, buf: Buffer, capacity: int, src: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> MpiRequest:
+        return MpiRequest(self.recv(buf, capacity, src, tag), "recv")
+
+    def sendrecv(
+        self,
+        sendbuf: Buffer,
+        send_bytes: int,
+        dst: int,
+        recvbuf: Buffer,
+        recv_capacity: int,
+        src: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> SimEvent:
+        r = self.recv(recvbuf, recv_capacity, src, recvtag)
+        s = self.send(sendbuf, send_bytes, dst, sendtag)
+        return AllOf(self.sim, [s, r])
+
+    def waitall(self, requests: List[MpiRequest]) -> SimEvent:
+        return waitall(self.sim, requests)
+
+    # -- minimal collectives -----------------------------------------------------------
+    def barrier(self):
+        """Dissemination barrier over 1-byte host messages."""
+        p = self.size
+        if p == 1:
+            return
+        token = self.lib.machine.alloc_host(self.node, 1)
+        sink = self.lib.machine.alloc_host(self.node, 1)
+        k = 1
+        round_no = 0
+        while k < p:
+            dst = (self.rank + k) % p
+            src = (self.rank - k) % p
+            tag = 0x3FF0_0000 + round_no
+            send = self.send(token, 1, dst, tag)
+            yield self.recv(sink, 1, src, tag)
+            yield send
+            k <<= 1
+            round_no += 1
+
+
+class OpenMpi:
+    """One OpenMPI job on its own simulated machine."""
+
+    def __init__(
+        self, config: Optional[MachineConfig] = None, n_ranks: Optional[int] = None
+    ) -> None:
+        self.cfg = config if config is not None else default_config()
+        self.machine = Machine(self.cfg)
+        self.rt = self.cfg.runtime
+        self.ucp = UcpContext(self.machine)
+        self.cuda = self.ucp.cuda
+        total = self.cfg.topology.total_gpus
+        self.n_ranks = n_ranks if n_ranks is not None else total
+        if self.n_ranks > total:
+            raise ValueError("one process per GPU: too many ranks")
+        self.ranks = [OmpiRank(self, r) for r in range(self.n_ranks)]
+
+    def launch(self, program, *args) -> SimEvent:
+        procs = [
+            Process(self.machine.sim, program(r, *args), name=f"ompi.rank{r.rank}")
+            for r in self.ranks
+        ]
+        return AllOf(self.machine.sim, procs)
+
+    def run_until(self, event: SimEvent, max_events: Optional[int] = None) -> Any:
+        return self.machine.sim.run_until_complete(event, max_events=max_events)

@@ -1,0 +1,173 @@
+"""Core event loop: a monotonic simulated clock over a binary-heap agenda.
+
+Determinism contract
+--------------------
+Events scheduled for the same simulated time fire in the order they were
+scheduled (FIFO tie-break via a monotonically increasing sequence number).
+Nothing in the engine consults wall-clock time or unseeded randomness, so a
+simulation run is a pure function of its inputs.  Every figure in the paper
+reproduction is therefore exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    """Heap entry; ordering is (time, seq) so ties fire FIFO."""
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Handle:
+    """Cancellation handle returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call multiple times."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the callback is due."""
+        return self._entry.time
+
+
+class Simulator:
+    """A discrete-event simulator with a float-valued clock (seconds).
+
+    The simulator only executes callbacks; higher-level behaviour (processes,
+    resources, queues) is layered on top in sibling modules.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: list[_Entry] = []
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._event_count
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant (FIFO order).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        entry = _Entry(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return Handle(entry)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, fn, *args)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the agenda is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event. Returns ``False`` if the agenda was empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = entry.time
+            self._event_count += 1
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the agenda drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an absolute simulated time; events scheduled exactly at
+        ``until`` *do* execute.  ``max_events`` bounds total executed events
+        and raises :class:`SimulationError` when exceeded — it exists to turn
+        accidental infinite event loops into loud failures in tests.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                nxt = self.peek()
+                if nxt is None:
+                    return
+                if until is not None and nxt > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely an event loop"
+                    )
+        finally:
+            self._running = False
+
+    def run_until_complete(self, event: "Any", *, max_events: Optional[int] = None) -> Any:
+        """Run until ``event`` (a :class:`~repro.sim.primitives.SimEvent`)
+        is triggered; returns its value or raises its failure exception."""
+        executed = 0
+        while not event.triggered:
+            if not self.step():
+                raise SimulationError("agenda drained before event triggered (deadlock?)")
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return event.result()

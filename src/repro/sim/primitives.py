@@ -1,0 +1,228 @@
+"""Synchronization primitives: events, timeouts, combinators, queues.
+
+These follow the SimPy vocabulary because it is the lingua franca of Python
+discrete-event simulation: a :class:`SimEvent` is a one-shot occurrence that
+processes may wait on; :class:`Timeout` is an event that fires after a fixed
+delay; :class:`AllOf`/:class:`AnyOf` combine events; :class:`SimQueue` is an
+unbounded producer/consumer queue (used for PE message queues and UCX
+matching); :class:`Latch` is a countdown barrier (used for windowed
+bandwidth tests and halo-exchange completion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """A one-shot event was succeeded/failed twice."""
+
+
+class SimEvent:
+    """A one-shot occurrence carrying a value or an exception.
+
+    Callbacks added before triggering run when the event triggers; callbacks
+    added after it has triggered run immediately (same simulated instant).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_exc", "name")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[[SimEvent], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    def result(self) -> Any:
+        """Value of a succeeded event; re-raises the exception of a failed one."""
+        if not self._triggered:
+            raise RuntimeError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        if self._triggered:
+            raise EventAlreadyTriggered(self.name)
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        if self._triggered:
+            raise EventAlreadyTriggered(self.name)
+        self._triggered = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
+        if self._triggered:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(SimEvent):
+    """An event that succeeds ``delay`` seconds after construction."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim.schedule(delay, self.succeed, value)
+
+
+class AllOf(SimEvent):
+    """Succeeds when every constituent event has succeeded.
+
+    The value is the list of constituent values, in input order.  Fails fast
+    with the first constituent failure.
+    """
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim, name="all_of")
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: SimEvent) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            try:
+                ev.result()
+            except BaseException as exc:  # noqa: BLE001 - propagate verbatim
+                self.fail(exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.result() for e in self._events])
+
+
+class AnyOf(SimEvent):
+    """Succeeds with ``(index, value)`` of the first constituent to succeed."""
+
+    def __init__(self, sim: Simulator, events: Iterable[SimEvent]) -> None:
+        super().__init__(sim, name="any_of")
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for idx, ev in enumerate(self._events):
+            ev.add_callback(lambda e, i=idx: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: SimEvent) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed((idx, ev.result()))
+        else:
+            try:
+                ev.result()
+            except BaseException as exc:  # noqa: BLE001
+                self.fail(exc)
+
+
+class Latch:
+    """Countdown latch: :meth:`wait` succeeds once :meth:`count_down` has
+    been called ``n`` times. A fresh latch with ``n == 0`` is already open."""
+
+    def __init__(self, sim: Simulator, n: int, name: str = "latch") -> None:
+        if n < 0:
+            raise ValueError("latch count must be >= 0")
+        self.sim = sim
+        self._remaining = n
+        self._event = SimEvent(sim, name=name)
+        if n == 0:
+            self._event.succeed(None)
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def count_down(self, by: int = 1) -> None:
+        if self._event.triggered:
+            raise RuntimeError("latch already open")
+        if by < 1:
+            raise ValueError("count_down must decrement by >= 1")
+        self._remaining -= by
+        if self._remaining <= 0:
+            self._event.succeed(None)
+
+    def wait(self) -> SimEvent:
+        return self._event
+
+
+class SimQueue:
+    """Unbounded FIFO queue with event-based consumption.
+
+    ``put`` never blocks.  ``get`` returns a :class:`SimEvent` that succeeds
+    with the next item — immediately if one is buffered, otherwise when a
+    producer puts one.  Waiters are served FIFO.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "queue") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Any:
+        """Pop an item if one is buffered, else raise :class:`IndexError`."""
+        return self._items.popleft()
+
+    def peek_all(self) -> list:
+        """Snapshot of buffered items (for matching-queue scans)."""
+        return list(self._items)
+
+    def remove(self, item: Any) -> None:
+        """Remove a specific buffered item (used by matching logic)."""
+        self._items.remove(item)

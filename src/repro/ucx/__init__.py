@@ -1,0 +1,34 @@
+"""A functional, timed model of UCX's UCP tagged API.
+
+Implements the semantics the Charm++ UCX machine layer relies on:
+
+* workers with tag matching (posted-receive and unexpected-message queues,
+  wildcard masks, FIFO ordering),
+* endpoints between workers,
+* ``tag_send_nb`` / ``tag_recv_nb`` with eager and rendezvous protocols,
+* transport selection by memory type and locality: shared-memory /CMA for
+  host buffers, GDRCopy-based eager and CUDA-IPC rendezvous for intra-node
+  device buffers, RDMA and chunk-pipelined host staging for inter-node
+  transfers (exactly the transports §IV-B1 of the paper describes UCX
+  choosing on Summit).
+
+Timing comes from :class:`repro.config.UcxConfig` plus the link topology;
+payloads move functionally so tests can assert data integrity end to end.
+"""
+
+from repro.ucx.constants import WIRE_HEADER_BYTES, TAG_MASK_FULL
+from repro.ucx.status import UcsStatus
+from repro.ucx.request import UcxRequest
+from repro.ucx.context import UcpContext
+from repro.ucx.endpoint import UcpEndpoint
+from repro.ucx.worker import UcpWorker
+
+__all__ = [
+    "TAG_MASK_FULL",
+    "UcpContext",
+    "UcpEndpoint",
+    "UcpWorker",
+    "UcsStatus",
+    "UcxRequest",
+    "WIRE_HEADER_BYTES",
+]

@@ -1,0 +1,50 @@
+"""UCP context: global UCX state shared by all workers of the simulation."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hardware.cuda import CudaRuntime
+from repro.hardware.gdrcopy import GdrCopy
+from repro.hardware.topology import Machine
+
+
+class UcpContext:
+    """Owns protocol configuration, the GDRCopy handle, and the worker
+    registry.  One context per simulated job (mirrors ``ucp_context_h``)."""
+
+    def __init__(self, machine: Machine, cuda: Optional[CudaRuntime] = None) -> None:
+        from repro.ucx.worker import UcpWorker  # local import: cycle guard
+
+        self.machine = machine
+        self.sim = machine.sim
+        self.cfg = machine.cfg.ucx
+        self.cuda = cuda if cuda is not None else CudaRuntime(machine)
+        self.gdrcopy = GdrCopy(machine.sim, self.cfg)
+        self._workers: Dict[int, "UcpWorker"] = {}
+        # NIC registration cache: buffers already pinned for RDMA (keyed by
+        # address).  Repeat rendezvous from the same user buffer skip the
+        # registration cost, as with UCX's rcache.
+        self.reg_cache: set = set()
+        self._worker_cls = UcpWorker
+
+    def create_worker(self, worker_id: int, node: int, socket: int = 0) -> "UcpWorker":
+        """Create (or return) the worker with this id, pinned to ``node``
+        (``socket`` selects the NIC rail for its host traffic)."""
+        if worker_id in self._workers:
+            existing = self._workers[worker_id]
+            if existing.node != node:
+                raise ValueError(
+                    f"worker {worker_id} already exists on node {existing.node}"
+                )
+            return existing
+        w = self._worker_cls(self, worker_id, node, socket)
+        self._workers[worker_id] = w
+        return w
+
+    def worker(self, worker_id: int) -> "UcpWorker":
+        return self._workers[worker_id]
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)

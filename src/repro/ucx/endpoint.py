@@ -1,0 +1,34 @@
+"""UCP endpoints: a connection from one worker to another."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ucx.worker import UcpWorker
+
+
+class UcpEndpoint:
+    """Sender-side handle to a remote worker.
+
+    Real UCX endpoints encapsulate transport resources; here the endpoint
+    just pins the (local, remote) worker pair and counts traffic, since
+    transport selection happens per message in the protocol layer.
+    """
+
+    def __init__(self, local: "UcpWorker", remote: "UcpWorker") -> None:
+        self.local = local
+        self.remote = remote
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def is_loopback(self) -> bool:
+        return self.local.worker_id == self.remote.worker_id
+
+    @property
+    def same_node(self) -> bool:
+        return self.local.node == self.remote.node
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<UcpEndpoint {self.local.worker_id}->{self.remote.worker_id}>"

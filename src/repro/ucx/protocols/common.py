@@ -1,0 +1,38 @@
+"""Shared cost helpers for the protocol implementations."""
+
+from __future__ import annotations
+
+from repro.hardware.memory import Buffer
+from repro.hardware.topology import Machine
+
+
+def staging_copy_time(ctx, buf: Buffer, size: int) -> float:
+    """Time to move ``size`` bytes between ``buf`` and a host bounce buffer
+    on the same node, as done by eager protocols on each side.
+
+    * host buffers: a plain memcpy at host memory speed;
+    * device buffers with GDRCopy: the low-latency BAR1 copy;
+    * device buffers without GDRCopy: a cudaMemcpy-based staging path that
+      pays driver launch/sync overheads (the slow world the paper warns
+      about when UCX fails to detect GDRCopy).
+    """
+    topo = ctx.machine.cfg.topology
+    if not buf.on_device:
+        return topo.host_mem.transfer_time(size)
+    if ctx.gdrcopy.available:
+        ctx.gdrcopy.copies += 1
+        return ctx.gdrcopy.copy_time(size)
+    return (
+        ctx.cfg.no_gdr_staging_overhead
+        + ctx.machine.cfg.cuda.memcpy_launch_overhead
+        + topo.nvlink.transfer_time(size)
+    )
+
+
+def do_staged_copy(dst: Buffer, src: Buffer, size: int) -> None:
+    """Functional payload movement for a staged (eager) hop."""
+    dst.copy_from(src, size)
+
+
+def host_location_of(machine: Machine, node: int):
+    return machine.host_location(node)

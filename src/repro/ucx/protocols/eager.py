@@ -1,0 +1,84 @@
+"""Eager protocol: payload travels with the message through bounce buffers.
+
+Sender side: copy the payload into a host bounce buffer (memcpy for host
+memory, GDRCopy for device memory), push it onto the wire, and complete the
+send request immediately after the copy-in (the source buffer is reusable).
+
+Receiver side: on match, copy out of the bounce into the destination buffer
+(again memcpy or GDRCopy by memory type) and complete the receive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.memory import Buffer
+from repro.ucx.protocols.common import staging_copy_time
+from repro.ucx.request import UcxRequest
+from repro.ucx.status import UcsStatus
+from repro.ucx.wire import WireKind, WireMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ucx.worker import PostedRecv, UcpWorker
+
+
+def start_send(
+    worker: "UcpWorker",
+    remote: "UcpWorker",
+    buf: Buffer,
+    size: int,
+    tag: int,
+    req: UcxRequest,
+    wire_seq=None,
+) -> None:
+    """Begin an eager send from ``worker`` to ``remote``."""
+    ctx = worker.ctx
+    cfg = ctx.cfg
+    copy_in = staging_copy_time(ctx, buf, size)
+    delay = cfg.send_overhead + cfg.request_alloc_cost + copy_in
+
+    # The bounce travels with the message; by delivery time it logically
+    # lives in the receiver's host memory.
+    bounce = ctx.machine.alloc_host(remote.node, max(size, 1))
+    bounce.copy_from(buf, size)
+    msg = WireMessage(
+        kind=WireKind.EAGER,
+        tag=tag,
+        size=size,
+        src_worker=worker.worker_id,
+        bounce=bounce,
+        sent_at=worker.sim.now,
+        src_was_device=buf.on_device,
+        wire_seq=wire_seq,
+    )
+
+    def _copied() -> None:
+        req.complete(UcsStatus.OK)
+        worker.transmit(remote, msg)
+
+    worker.sim.schedule(delay, _copied)
+
+
+def finish_recv(
+    worker: "UcpWorker",
+    msg: WireMessage,
+    posted: "PostedRecv",
+    pre_delay: float,
+) -> None:
+    """Complete a matched eager receive: copy out of the bounce, finish."""
+    ctx = worker.ctx
+    if msg.size > posted.size:
+        worker.sim.schedule(
+            pre_delay,
+            posted.req.complete,
+            UcsStatus.ERR_MESSAGE_TRUNCATED,
+            (msg.tag, msg.size),
+        )
+        return
+    copy_out = staging_copy_time(ctx, posted.buf, msg.size)
+
+    def _done() -> None:
+        posted.buf.copy_from(msg.bounce, msg.size)
+        posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
+
+    worker.sim.schedule(pre_delay + copy_out, _done)

@@ -1,0 +1,154 @@
+"""Rendezvous protocol: RTS control message, receiver-driven fetch, FIN.
+
+The *lane* for the bulk data is chosen at match time, when both buffer
+locations are known (mirroring UCX's receiver-side rendezvous decision):
+
+===============================  ============================================
+endpoints                        lane
+===============================  ============================================
+host <-> host, same node         CMA/xpmem single copy through host memory
+host <-> host, across nodes      RDMA get over the NICs
+device <-> device, same node     CUDA IPC direct copy over NVLink/X-Bus
+any device, across nodes         chunk-pipelined host staging (default) or
+                                 GPUDirect RDMA when configured
+device <-> host, same node       DMA over the GPU's NVLink
+===============================  ============================================
+
+The full data route is occupied for the bottleneck serialisation time, so
+concurrent rendezvous transfers contend realistically (six GPUs pushing
+halos through one NIC serialize there).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.links import path_transfer
+from repro.hardware.memory import Buffer
+from repro.ucx.constants import CTRL_MSG_BYTES
+from repro.ucx.protocols.cuda_ipc import ipc_setup_cost
+from repro.ucx.protocols.pipeline import pipeline_extra_time
+from repro.ucx.request import UcxRequest
+from repro.ucx.status import UcsStatus
+from repro.ucx.wire import WireKind, WireMessage, next_rndv_id
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ucx.worker import PostedRecv, UcpWorker
+
+
+def start_send(
+    worker: "UcpWorker",
+    remote: "UcpWorker",
+    buf: Buffer,
+    size: int,
+    tag: int,
+    req: UcxRequest,
+    wire_seq=None,
+) -> None:
+    """Send the RTS; the request completes when the FIN returns."""
+    cfg = worker.ctx.cfg
+    rndv_id = next_rndv_id()
+    worker.pending_rndv_sends[rndv_id] = req
+    msg = WireMessage(
+        kind=WireKind.RTS,
+        tag=tag,
+        size=size,
+        src_worker=worker.worker_id,
+        src_buf=buf,
+        rndv_id=rndv_id,
+        sent_at=worker.sim.now,
+        src_was_device=buf.on_device,
+        wire_seq=wire_seq,
+    )
+    delay = cfg.send_overhead + cfg.request_alloc_cost + cfg.rndv_rts_cost
+    worker.sim.schedule(delay, worker.transmit, remote, msg, CTRL_MSG_BYTES)
+
+
+def start_transfer(
+    worker: "UcpWorker",
+    msg: WireMessage,
+    posted: "PostedRecv",
+    pre_delay: float,
+) -> None:
+    """Receiver matched an RTS: fetch the data, complete, send FIN."""
+    ctx = worker.ctx
+    cfg = ctx.cfg
+    machine = ctx.machine
+    sim = worker.sim
+
+    if msg.size > posted.size:
+        def _truncate() -> None:
+            posted.req.complete(UcsStatus.ERR_MESSAGE_TRUNCATED, (msg.tag, msg.size))
+            # release the sender too: the rendezvous is over
+            fin = WireMessage(
+                kind=WireKind.FIN, tag=msg.tag, size=0,
+                src_worker=worker.worker_id, rndv_id=msg.rndv_id, sent_at=sim.now,
+            )
+            worker.transmit(ctx.worker(msg.src_worker), fin, CTRL_MSG_BYTES)
+
+        sim.schedule(pre_delay, _truncate)
+        return
+
+    src, dst = msg.src_buf, posted.buf
+    src_loc = machine.location_of(src)
+    dst_loc = machine.location_of(dst)
+    inter_node = src_loc.node != dst_loc.node
+    any_device = src.on_device or dst.on_device
+
+    # Setup costs delay the start of the bulk transfer but do NOT occupy
+    # the wire: IPC handle opening and page registration are CPU/driver
+    # work, and the pipeline's fill/drain stages run on the staging NVLinks
+    # while the NIC carries earlier chunks of other messages.
+    setup = cfg.rndv_rts_cost  # receiver-side RTR/control handling
+    pipelined = inter_node and any_device and not cfg.gpudirect_rdma
+    if not inter_node and src.on_device and dst.on_device:
+        setup += ipc_setup_cost(ctx, dst.device, src)
+    elif pipelined:
+        setup += pipeline_extra_time(machine.cfg, msg.size)
+    elif inter_node and not any_device:
+        # RDMA get of unregistered host pages: pin them with the NIC first
+        # (once per buffer -- the registration cache keeps them pinned)
+        if src.address not in ctx.reg_cache:
+            ctx.reg_cache.add(src.address)
+            setup += cfg.host_rndv_reg_overhead
+
+    if pipelined:
+        # chunked host staging decouples the GPU links from the wire: the
+        # NVLink hops overlap the NIC chunk-by-chunk (their cost is the
+        # fill/drain above), so the bulk occupies only the NIC segment,
+        # entering/leaving through the endpoints' socket rails.
+        src_sock = machine.socket_of_gpu(src.device) if src.on_device else src_loc.socket
+        dst_sock = machine.socket_of_gpu(dst.device) if dst.on_device else dst_loc.socket
+        route = machine.route(
+            machine.host_location(src_loc.node, src_sock),
+            machine.host_location(dst_loc.node, dst_sock),
+        )
+    else:
+        route = machine.route(src_loc, dst_loc)
+
+    def _begin() -> None:
+        done = path_transfer(sim, route, msg.size)
+        done.add_callback(_data_arrived)
+
+    def _data_arrived(_ev) -> None:
+        dst.copy_from(src, msg.size)
+        posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
+        fin = WireMessage(
+            kind=WireKind.FIN,
+            tag=msg.tag,
+            size=0,
+            src_worker=worker.worker_id,
+            rndv_id=msg.rndv_id,
+            sent_at=sim.now,
+        )
+        worker.transmit(ctx.worker(msg.src_worker), fin, CTRL_MSG_BYTES)
+
+    sim.schedule(pre_delay + setup, _begin)
+
+
+def finish_send(worker: "UcpWorker", msg: WireMessage) -> None:
+    """FIN arrived back at the sender: complete the pending send request."""
+    req = worker.pending_rndv_sends.pop(msg.rndv_id, None)
+    if req is None:
+        raise RuntimeError(f"FIN for unknown rendezvous id {msg.rndv_id}")
+    req.complete(UcsStatus.OK)

@@ -1,0 +1,33 @@
+"""Eager/rendezvous selection (the UCP side of ``UCX_RNDV_THRESH``).
+
+The choice depends only on the *source* buffer's memory type and the size:
+
+* host memory: eager below ``host_rndv_threshold``, rendezvous at/above;
+* device memory: eager below ``device_eager_threshold`` (GDRCopy territory),
+  rendezvous at/above.
+
+How the rendezvous data actually moves (CMA, RDMA, CUDA IPC, pipelined
+staging) is decided at match time by :mod:`repro.ucx.protocols.rndv`, once
+both endpoints' locations are known — as in UCX, where the receiver picks
+the rendezvous lane.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config import UcxConfig
+from repro.hardware.memory import Buffer
+
+
+class Protocol(enum.Enum):
+    EAGER = "eager"
+    RNDV = "rndv"
+
+
+def choose_send_protocol(cfg: UcxConfig, buf: Buffer, size: int) -> Protocol:
+    """Pick eager or rendezvous for a send of ``size`` bytes from ``buf``."""
+    if size < 0:
+        raise ValueError("negative send size")
+    threshold = cfg.device_eager_threshold if buf.on_device else cfg.host_rndv_threshold
+    return Protocol.EAGER if size < threshold else Protocol.RNDV

@@ -1,0 +1,69 @@
+"""Non-blocking operation handles (the ``ucs_status_ptr_t`` of the model)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.primitives import SimEvent
+from repro.ucx.status import UcsStatus
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+class UcxRequest:
+    """Handle for one in-flight ``tag_send_nb`` / ``tag_recv_nb``.
+
+    ``event`` is a :class:`SimEvent` that processes may yield on; ``cb`` (the
+    UCP completion callback) is invoked from "progress context" — i.e. at the
+    simulated instant of completion.  ``info`` carries the matched tag and
+    received length for receives, mirroring ``ucp_tag_recv_info_t``.
+    """
+
+    __slots__ = (
+        "sim", "kind", "tag", "size", "cb", "event",
+        "status", "info", "posted_at", "completed_at",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kind: RequestKind,
+        tag: int,
+        size: int,
+        cb: Optional[Callable[["UcxRequest"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.kind = kind
+        self.tag = tag
+        self.size = size
+        self.cb = cb
+        self.event = SimEvent(sim, name=f"ucx.{kind.value}")
+        self.status = UcsStatus.INPROGRESS
+        self.info: Any = None
+        self.posted_at = sim.now
+        self.completed_at: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status is not UcsStatus.INPROGRESS
+
+    def complete(self, status: UcsStatus = UcsStatus.OK, info: Any = None) -> None:
+        if self.completed:
+            raise RuntimeError("request completed twice")
+        self.status = status
+        self.info = info
+        self.completed_at = self.sim.now
+        if self.cb is not None:
+            self.cb(self)
+        self.event.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<UcxRequest {self.kind.value} tag=0x{self.tag:x} size={self.size} "
+            f"{self.status.name}>"
+        )

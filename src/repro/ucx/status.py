@@ -1,0 +1,16 @@
+"""UCS-style status codes (the subset the model produces)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class UcsStatus(enum.IntEnum):
+    OK = 0
+    INPROGRESS = 1
+    ERR_CANCELED = -16
+    ERR_MESSAGE_TRUNCATED = -10
+
+
+class UcxError(RuntimeError):
+    """Raised for misuse of the UCP model API."""

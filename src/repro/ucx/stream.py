@@ -1,0 +1,89 @@
+"""UCP stream API: ordered, connection-oriented byte streams.
+
+The paper (§II-B) notes UCX exposes GPU-aware communication through both
+its *tagged* and *stream* APIs; the machine layer uses the tagged API, but
+the stream API is part of the substrate, so it is modelled here: per-
+endpoint ordered delivery with no tag matching — receives consume bytes in
+arrival order (``ucp_stream_send_nb`` / ``ucp_stream_recv_nb``).
+
+Implementation: each (sender worker, receiver worker) direction owns a FIFO
+of arrived-but-unconsumed messages plus a FIFO of pending receives.  The
+transports and costs are exactly the tagged protocols' (eager below the
+memory-type threshold, rendezvous above), reusing the same machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.hardware.memory import Buffer
+from repro.ucx.request import UcxRequest
+from repro.ucx.status import UcxError
+
+
+class _StreamState:
+    """Receiver-side state of one directed stream."""
+
+    __slots__ = ("arrived", "pending")
+
+    def __init__(self) -> None:
+        # arrived: (payload source buffer snapshot, size)
+        self.arrived: Deque[Tuple[Buffer, int]] = deque()
+        self.pending: Deque[Tuple[Buffer, int, UcxRequest]] = deque()
+
+
+class StreamChannel:
+    """Stream facility attached to a pair of workers.
+
+    Built *on top of* the tagged machinery: each direction gets a private
+    tag space (a reserved high tag with a per-message sequence number), so
+    ordering and transports come for free and the semantics exposed to the
+    user are purely stream-like.
+    """
+
+    #: tag namespace for stream traffic (top of the 64-bit space)
+    _STREAM_TAG_BASE = 0xF << 60
+
+    def __init__(self, local, remote) -> None:
+        self.local = local
+        self.remote = remote
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def _next_send_tag(self) -> int:
+        tag = (
+            self._STREAM_TAG_BASE
+            | (self.local.worker_id & 0xFFFF) << 32
+            | (self._send_seq & 0xFFFFFFFF)
+        )
+        self._send_seq += 1
+        return tag
+
+    def _next_recv_tag(self) -> int:
+        tag = (
+            self._STREAM_TAG_BASE
+            | (self.remote.worker_id & 0xFFFF) << 32
+            | (self._recv_seq & 0xFFFFFFFF)
+        )
+        self._recv_seq += 1
+        return tag
+
+    def send_nb(self, buf: Buffer, size: int, cb=None) -> UcxRequest:
+        """``ucp_stream_send_nb``: append ``size`` bytes to the stream."""
+        ep = self.local.ep(self.remote.worker_id)
+        return self.local.tag_send_nb(ep, buf, size, self._next_send_tag(), cb=cb)
+
+    def recv_nb(self, buf: Buffer, size: int, cb=None) -> UcxRequest:
+        """``ucp_stream_recv_nb``: consume the next message of the stream.
+
+        Stream semantics are strictly ordered: the n-th receive matches the
+        n-th send, whatever its tag-free payload is."""
+        return self.local.tag_recv_nb(buf, size, self._next_recv_tag(), cb=cb)
+
+
+def stream_pair(worker_a, worker_b) -> Tuple[StreamChannel, StreamChannel]:
+    """Create the two endpoints of a bidirectional stream between workers."""
+    if worker_a.ctx is not worker_b.ctx:
+        raise UcxError("stream endpoints must share a UCP context")
+    return StreamChannel(worker_a, worker_b), StreamChannel(worker_b, worker_a)

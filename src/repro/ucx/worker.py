@@ -1,0 +1,364 @@
+"""UCP workers: tag matching and message dispatch.
+
+One worker per process/PE (the paper's non-SMP configuration).  The worker
+owns the two matching queues of the UCP tagged API:
+
+* **posted receives** — entries from ``tag_recv_nb`` not yet matched;
+* **unexpected messages** — arrived eager payloads and rendezvous RTS
+  descriptors with no matching posted receive yet.
+
+Matching is FIFO with wildcard masks: an incoming tag ``t`` matches a posted
+entry ``(tag, mask)`` iff ``t & mask == tag & mask``.  This ordering
+guarantee is what the Charm++ machine layer's per-(PE, counter) device tags
+rely on for correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.links import path_transfer
+from repro.hardware.memory import Buffer
+from repro.ucx.constants import (
+    CTRL_MSG_BYTES,
+    LOOPBACK_LATENCY,
+    TAG_MASK_FULL,
+    WIRE_HEADER_BYTES,
+)
+from repro.ucx.endpoint import UcpEndpoint
+from repro.ucx.protocols import eager as eager_proto
+from repro.ucx.protocols import rndv as rndv_proto
+from repro.ucx.protocols.select import Protocol, choose_send_protocol
+from repro.ucx.request import RequestKind, UcxRequest
+from repro.ucx.status import UcsStatus, UcxError
+from repro.ucx.wire import WireKind, WireMessage
+
+
+@dataclass
+class PostedRecv:
+    """One entry of the posted-receive (expected) queue."""
+
+    tag: int
+    mask: int
+    buf: Buffer
+    size: int
+    req: UcxRequest
+
+    def matches(self, incoming_tag: int) -> bool:
+        return (incoming_tag & self.mask) == (self.tag & self.mask)
+
+
+class UcpWorker:
+    """One communication endpoint owner; see module docstring."""
+
+    def __init__(self, ctx, worker_id: int, node: int, socket: int = 0) -> None:
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.worker_id = worker_id
+        self.node = node
+        self.socket = socket
+        self.posted: List[PostedRecv] = []
+        self.unexpected: List[WireMessage] = []
+        self.pending_rndv_sends: Dict[int, UcxRequest] = {}
+        self._endpoints: Dict[int, UcpEndpoint] = {}
+        # per-directed-pair wire sequencing: matchable messages (EAGER/RTS)
+        # are processed in send order even when control frames physically
+        # arrive first (ordered-QP semantics)
+        self._tx_seq: Dict[int, int] = {}
+        self._rx_next: Dict[int, int] = {}
+        self._rx_held: Dict[int, Dict[int, WireMessage]] = {}
+        # the AM (host-message) stream is sequenced independently
+        self._am_tx_seq: Dict[int, int] = {}
+        self._am_rx_next: Dict[int, int] = {}
+        self._am_rx_held: Dict[int, dict] = {}
+        # statistics
+        self.sends = 0
+        self.recvs = 0
+        self.unexpected_hits = 0
+        self.expected_hits = 0
+
+    # -- endpoints ------------------------------------------------------------
+    def ep(self, remote_id: int) -> UcpEndpoint:
+        """Get (and cache) the endpoint to ``remote_id``."""
+        if remote_id not in self._endpoints:
+            self._endpoints[remote_id] = UcpEndpoint(self, self.ctx.worker(remote_id))
+        return self._endpoints[remote_id]
+
+    # -- public API -------------------------------------------------------------
+    def tag_send_nb(
+        self,
+        ep: UcpEndpoint,
+        buf: Buffer,
+        size: int,
+        tag: int,
+        cb=None,
+    ) -> UcxRequest:
+        """``ucp_tag_send_nb``: non-blocking tagged send."""
+        if ep.local is not self:
+            raise UcxError("endpoint does not belong to this worker")
+        if size > buf.size:
+            raise UcxError(f"send size {size} exceeds buffer size {buf.size}")
+        self.sends += 1
+        ep.messages_sent += 1
+        ep.bytes_sent += size
+        req = UcxRequest(self.sim, RequestKind.SEND, tag, size, cb)
+        proto = choose_send_protocol(self.ctx.cfg, buf, size)
+        self.ctx.machine.tracer.emit(
+            "ucx", "send", tag=tag, size=size, proto=proto.value
+        )
+        # matching order follows the tag_send_nb call order, whatever the
+        # protocols' differing pre-send delays do to physical arrival order
+        seq = self._tx_seq.get(ep.remote.worker_id, 0)
+        self._tx_seq[ep.remote.worker_id] = seq + 1
+        if proto is Protocol.EAGER:
+            eager_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+        else:
+            rndv_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+        return req
+
+    def tag_recv_nb(
+        self,
+        buf: Buffer,
+        size: int,
+        tag: int,
+        mask: int = TAG_MASK_FULL,
+        cb=None,
+    ) -> UcxRequest:
+        """``ucp_tag_recv_nb``: post a tagged receive.
+
+        Scans the unexpected queue first (FIFO); on a hit the protocol
+        completion runs with the accumulated matching cost as its delay.
+        """
+        if size > buf.size:
+            raise UcxError(f"recv size {size} exceeds buffer size {buf.size}")
+        self.recvs += 1
+        cfg = self.ctx.cfg
+        req = UcxRequest(self.sim, RequestKind.RECV, tag, size, cb)
+        posted = PostedRecv(tag, mask, buf, size, req)
+        base = cfg.recv_overhead + cfg.request_alloc_cost
+
+        for scanned, msg in enumerate(self.unexpected):
+            if (msg.tag & mask) == (tag & mask):
+                self.unexpected.remove(msg)
+                self.unexpected_hits += 1
+                delay = base + cfg.tag_match_cost * (scanned + 1)
+                self._dispatch_match(msg, posted, delay)
+                return req
+
+        self.posted.append(posted)
+        return req
+
+    def tag_probe_nb(self, tag: int, mask: int = TAG_MASK_FULL):
+        """``ucp_tag_probe_nb``: peek the unexpected queue for a matching
+        message without consuming it.  Returns ``(tag, size)`` or ``None``."""
+        for msg in self.unexpected:
+            if (msg.tag & mask) == (tag & mask):
+                return (msg.tag, msg.size)
+        return None
+
+    def cancel(self, req: UcxRequest) -> bool:
+        """``ucp_request_cancel``: cancel a posted receive that has not
+        matched yet.  Returns True if cancelled (request completes with
+        ``ERR_CANCELED``), False if it already matched/completed."""
+        if req.completed:
+            return False
+        for posted in self.posted:
+            if posted.req is req:
+                self.posted.remove(posted)
+                req.complete(UcsStatus.ERR_CANCELED)
+                return True
+        return False
+
+    # -- active-message host path -----------------------------------------------
+    #
+    # The Charm++ UCX machine layer moves ordinary host messages over UCP
+    # with preposted wildcard buffers.  Rather than fabricate those buffers,
+    # the model provides an AM-style path with the *same cost structure* as
+    # the tagged protocols (eager copy-in/wire/copy-out below the host
+    # rendezvous threshold; RTS + single-copy fetch above it) that delivers
+    # to a worker-level handler installed by the machine layer.
+
+    def set_am_handler(self, handler) -> None:
+        """Install the callable invoked as ``handler(payload, size, src_id)``
+        when an AM host message is delivered to this worker."""
+        self._am_handler = handler
+
+    def am_send(self, ep: UcpEndpoint, size: int, payload=None) -> UcxRequest:
+        """Send a host message of ``size`` bytes carrying ``payload`` (any
+        Python object; not copied) to ``ep.remote``'s AM handler."""
+        if ep.local is not self:
+            raise UcxError("endpoint does not belong to this worker")
+        self.sends += 1
+        ep.messages_sent += 1
+        ep.bytes_sent += size
+        cfg = self.ctx.cfg
+        topo = self.ctx.machine.cfg.topology
+        req = UcxRequest(self.sim, RequestKind.SEND, 0, size, None)
+        remote = ep.remote
+
+        if size < cfg.host_rndv_threshold:
+            # eager: copy-in, wire, copy-out.  Eager host messages carry a
+            # per-pair sequence so delivery follows send order even when a
+            # small frame physically lands first (ordered-QP semantics).
+            seq = self._am_tx_seq.get(remote.worker_id, 0)
+            self._am_tx_seq[remote.worker_id] = seq + 1
+            copy = topo.host_mem.transfer_time(size)
+            delay = cfg.send_overhead + cfg.request_alloc_cost + copy
+
+            def _send_eager() -> None:
+                req.complete()
+                self._am_wire(remote, size, payload, extra_rx=copy, seq=seq)
+
+            self.sim.schedule(delay, _send_eager)
+        else:
+            # rendezvous: RTS, then a single-copy fetch of the data
+            delay = cfg.send_overhead + cfg.request_alloc_cost + cfg.rndv_rts_cost
+
+            def _send_rts() -> None:
+                self._am_wire(remote, CTRL_MSG_BYTES, None, rndv=(size, payload, req))
+
+            self.sim.schedule(delay, _send_rts)
+        return req
+
+    def _am_wire(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float = 0.0, rndv=None, seq=None) -> None:
+        machine = self.ctx.machine
+        if remote.worker_id == self.worker_id:
+            self.sim.schedule(
+                LOOPBACK_LATENCY, self._am_arrive, remote, nbytes, payload, extra_rx, rndv, seq
+            )
+            return
+        route = machine.route(
+            machine.host_location(self.node, self.socket),
+            machine.host_location(remote.node, remote.socket),
+        )
+        path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
+            lambda _ev: self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq)
+        )
+
+    def _am_arrive(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float, rndv, seq=None) -> None:
+        cfg = self.ctx.cfg
+        machine = self.ctx.machine
+        if rndv is None:
+            src = self.worker_id
+            if seq is not None:
+                expected = remote._am_rx_next.get(src, 0)
+                if seq != expected:
+                    remote._am_rx_held.setdefault(src, {})[seq] = (
+                        nbytes, payload, extra_rx
+                    )
+                    return
+            remote._am_deliver(nbytes, payload, src, cfg.progress_overhead + extra_rx)
+            if seq is not None:
+                remote._am_rx_next[src] = seq + 1
+                held = remote._am_rx_held.get(src)
+                while held:
+                    nxt = remote._am_rx_next[src]
+                    entry = held.pop(nxt, None)
+                    if entry is None:
+                        break
+                    n2, p2, x2 = entry
+                    remote._am_deliver(n2, p2, src, cfg.progress_overhead + x2)
+                    remote._am_rx_next[src] = nxt + 1
+            return
+        size, data_payload, send_req = rndv
+        # receiver fetches the data with a single copy (CMA within a node,
+        # RDMA get across nodes; the latter pins the pages first -- a CPU/
+        # driver cost that delays the get without occupying the wire)
+        route = machine.route(
+            machine.host_location(self.node, self.socket),
+            machine.host_location(remote.node, remote.socket),
+        )
+        reg = cfg.host_rndv_reg_overhead if remote.node != self.node else 0.0
+
+        def _fetched(_ev) -> None:
+            send_req.complete()
+            remote._am_deliver(size, data_payload, self.worker_id, cfg.progress_overhead)
+
+        self.sim.schedule(
+            cfg.progress_overhead + cfg.rndv_rts_cost + reg,
+            lambda: path_transfer(self.sim, route, size).add_callback(_fetched),
+        )
+
+    def _am_deliver(self, size: int, payload, src_id: int, delay: float) -> None:
+        handler = getattr(self, "_am_handler", None)
+        if handler is None:
+            raise UcxError(f"worker {self.worker_id} has no AM handler installed")
+        # keep handler invocation order consistent with delivery order: a
+        # drained held message must not fire before its predecessor just
+        # because its copy-out is cheaper
+        if not hasattr(self, "_am_last_deliver"):
+            self._am_last_deliver = {}
+        at = max(self.sim.now + delay, self._am_last_deliver.get(src_id, 0.0))
+        self._am_last_deliver[src_id] = at
+        self.sim.schedule(at - self.sim.now, handler, payload, size, src_id)
+
+    # -- wire ----------------------------------------------------------------------
+    def transmit(
+        self,
+        remote: "UcpWorker",
+        msg: WireMessage,
+        wire_bytes: Optional[int] = None,
+    ) -> None:
+        """Push ``msg`` onto the wire towards ``remote``.
+
+        Control and eager messages travel host-to-host (device payloads were
+        staged by the eager protocol before transmit).  Loopback bypasses
+        the link fabric.
+        """
+        nbytes = (wire_bytes if wire_bytes is not None else msg.size) + WIRE_HEADER_BYTES
+        if remote.worker_id == self.worker_id:
+            self.sim.schedule(LOOPBACK_LATENCY, remote._on_wire, msg)
+            return
+        machine = self.ctx.machine
+        route = machine.route(
+            machine.host_location(self.node), machine.host_location(remote.node)
+        )
+        path_transfer(self.sim, route, nbytes).add_callback(
+            lambda _ev: remote._on_wire(msg)
+        )
+
+    def _on_wire(self, msg: WireMessage) -> None:
+        """A message arrived (called at its simulated arrival instant)."""
+        self.ctx.machine.tracer.emit("ucx", "arrive", kind=msg.kind.value, tag=msg.tag)
+        if msg.kind is WireKind.FIN:
+            rndv_proto.finish_send(self, msg)
+            return
+        # enforce per-pair matching order: hold early arrivals until their
+        # predecessors on the same directed pair have been processed
+        src = msg.src_worker
+        expected = self._rx_next.get(src, 0)
+        if msg.wire_seq is not None and msg.wire_seq != expected:
+            self._rx_held.setdefault(src, {})[msg.wire_seq] = msg
+            return
+        self._process_in_order(msg)
+        held = self._rx_held.get(src)
+        while held:
+            nxt = self._rx_next.get(src, 0)
+            follow = held.pop(nxt, None)
+            if follow is None:
+                break
+            self._process_in_order(follow)
+
+    def _process_in_order(self, msg: WireMessage) -> None:
+        cfg = self.ctx.cfg
+        src = msg.src_worker
+        if msg.wire_seq is not None:
+            self._rx_next[src] = msg.wire_seq + 1
+        base = cfg.progress_overhead
+        for scanned, posted in enumerate(self.posted):
+            if posted.matches(msg.tag):
+                self.posted.remove(posted)
+                self.expected_hits += 1
+                delay = base + cfg.tag_match_cost * (scanned + 1)
+                self._dispatch_match(msg, posted, delay)
+                return
+        self.unexpected.append(msg)
+
+    def _dispatch_match(self, msg: WireMessage, posted: PostedRecv, delay: float) -> None:
+        if msg.kind is WireKind.EAGER:
+            eager_proto.finish_recv(self, msg, posted, delay)
+        elif msg.kind is WireKind.RTS:
+            rndv_proto.start_transfer(self, msg, posted, delay)
+        else:  # pragma: no cover - defensive
+            raise UcxError(f"unmatchable wire kind {msg.kind}")

@@ -1,0 +1,296 @@
+"""Tests for AMPI point-to-point semantics and the GPU-aware path."""
+
+import numpy as np
+import pytest
+
+from repro.ampi import ANY_SOURCE, ANY_TAG, Ampi
+from repro.ampi.datatypes import DOUBLE, INT
+from repro.ampi.mpi import MpiTruncationError
+from repro.charm import Charm
+from repro.config import KB, MB, summit
+
+
+def run_ranks(program, nodes=2, ranks_per_pe=1, max_events=5_000_000):
+    charm = Charm(summit(nodes=nodes))
+    ampi = Ampi(charm, ranks_per_pe=ranks_per_pe)
+    done = ampi.launch(program)
+    charm.run_until(done, max_events=max_events)
+    return charm, ampi
+
+
+class TestBasicPt2Pt:
+    def test_host_eager_roundtrip(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 64)
+            if mpi.rank == 0:
+                buf.data[:] = 5
+                yield mpi.send(buf, 64, dst=1, tag=7)
+            elif mpi.rank == 1:
+                status = yield mpi.recv(buf, 64, src=0, tag=7)
+                out["status"] = status
+                out["ok"] = bool((buf.data == 5).all())
+
+        run_ranks(program)
+        assert out["ok"]
+        assert out["status"].source == 0
+        assert out["status"].tag == 7
+        assert out["status"].count == 64
+
+    def test_host_rndv_roundtrip(self):
+        out = {}
+        size = 256 * KB
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, size, materialize=True)
+            if mpi.rank == 0:
+                buf.data[:] = 9
+                yield mpi.send(buf, size, dst=1, tag=1)
+            elif mpi.rank == 1:
+                yield mpi.recv(buf, size, src=0, tag=1)
+                out["ok"] = bool((buf.data == 9).all())
+
+        run_ranks(program)
+        assert out["ok"]
+
+    def test_device_roundtrip(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc(mpi.gpu, 4 * KB)
+            if mpi.rank == 0:
+                buf.data[:] = 3
+                yield mpi.send(buf, 4 * KB, dst=1, tag=2)
+            elif mpi.rank == 1:
+                yield mpi.recv(buf, 4 * KB, src=0, tag=2)
+                out["ok"] = bool((buf.data == 3).all())
+
+        run_ranks(program)
+        assert out["ok"]
+
+    def test_recv_before_send_and_after(self):
+        """Both matching scenarios of SIII-C2."""
+        out = {"orders": []}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            if mpi.rank == 0:
+                # recv posted first (request queue path)
+                st = yield mpi.recv(buf, 8, src=1, tag=1)
+                out["orders"].append("recv-first")
+                yield mpi.send(buf, 8, dst=1, tag=2)
+            elif mpi.rank == 1:
+                yield mpi.send(buf, 8, dst=0, tag=1)
+                # delay so the message parks in the unexpected queue
+                from repro.sim.primitives import Timeout
+
+                yield Timeout(mpi.sim, 1e-3)
+                st = yield mpi.recv(buf, 8, src=0, tag=2)
+                out["orders"].append("unexpected")
+
+        run_ranks(program)
+        assert sorted(out["orders"]) == ["recv-first", "unexpected"]
+
+    def test_any_source_any_tag(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            if mpi.rank == 2:
+                statuses = []
+                for _ in range(2):
+                    st = yield mpi.recv(buf, 8, src=ANY_SOURCE, tag=ANY_TAG)
+                    statuses.append((st.source, st.tag))
+                out["statuses"] = sorted(statuses)
+            elif mpi.rank in (0, 1):
+                yield mpi.send(buf, 8, dst=2, tag=10 + mpi.rank)
+
+        run_ranks(program)
+        assert out["statuses"] == [(0, 10), (1, 11)]
+
+    def test_message_ordering_same_pair(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            if mpi.rank == 0:
+                for i in range(6):
+                    buf2 = mpi.charm.cuda.malloc_host(mpi.node, 8)
+                    buf2.data[:] = i
+                    yield mpi.send(buf2, 8, dst=1, tag=4)
+            elif mpi.rank == 1:
+                got = []
+                for _ in range(6):
+                    yield mpi.recv(buf, 8, src=0, tag=4)
+                    got.append(int(buf.data[0]))
+                out["got"] = got
+
+        run_ranks(program)
+        assert out["got"] == list(range(6))
+
+    def test_truncation_fails_request(self):
+        out = {}
+
+        def program(mpi):
+            if mpi.rank == 0:
+                big = mpi.charm.cuda.malloc_host(mpi.node, 128)
+                yield mpi.send(big, 128, dst=1, tag=1)
+            elif mpi.rank == 1:
+                small = mpi.charm.cuda.malloc_host(mpi.node, 16)
+                try:
+                    yield mpi.recv(small, 16, src=0, tag=1)
+                except MpiTruncationError:
+                    out["truncated"] = True
+
+        run_ranks(program)
+        assert out["truncated"]
+
+    def test_sendrecv(self):
+        out = {}
+
+        def program(mpi):
+            if mpi.rank > 1:
+                return
+            other = 1 - mpi.rank
+            sb = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            rb = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            sb.data[:] = mpi.rank + 1
+            yield mpi.sendrecv(sb, 8, other, rb, 8, other)
+            out[mpi.rank] = int(rb.data[0])
+
+        run_ranks(program)
+        assert out == {0: 2, 1: 1}
+
+    def test_isend_irecv_waitall(self):
+        out = {}
+
+        def program(mpi):
+            if mpi.rank > 1:
+                return
+            other = 1 - mpi.rank
+            bufs = [mpi.charm.cuda.malloc_host(mpi.node, 8) for _ in range(4)]
+            reqs = [mpi.irecv(bufs[i], 8, src=other, tag=i) for i in range(2)]
+            reqs += [mpi.isend(bufs[2 + i], 8, dst=other, tag=i) for i in range(2)]
+            statuses = yield mpi.waitall(reqs)
+            out[mpi.rank] = len(statuses)
+
+        run_ranks(program)
+        assert out == {0: 4, 1: 4}
+
+    def test_typed_send_recv(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 10 * DOUBLE.extent)
+            if mpi.rank == 0:
+                yield mpi.send_typed(buf, 10, DOUBLE, dst=1, tag=3)
+            elif mpi.rank == 1:
+                st = yield mpi.recv_typed(buf, 10, DOUBLE, src=0, tag=3)
+                out["count"] = st.count
+
+        run_ranks(program)
+        assert out["count"] == 10 * DOUBLE.extent
+
+    def test_send_larger_than_buffer_rejected(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+                with pytest.raises(ValueError):
+                    mpi.send(buf, 16, dst=1)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        run_ranks(program)
+
+    def test_bad_destination_rejected(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+                with pytest.raises(ValueError):
+                    mpi.send(buf, 8, dst=999)
+            return
+            yield  # pragma: no cover
+
+        run_ranks(program)
+
+
+class TestGpuPath:
+    def test_mixed_device_to_host_rejected(self):
+        out = {}
+
+        def program(mpi):
+            if mpi.rank == 0:
+                d = mpi.charm.cuda.malloc(mpi.gpu, 64)
+                yield mpi.send(d, 64, dst=1, tag=1)
+            elif mpi.rank == 1:
+                h = mpi.charm.cuda.malloc_host(mpi.node, 64)
+                try:
+                    yield mpi.recv(h, 64, src=0, tag=1)
+                except NotImplementedError:
+                    out["raised"] = True
+
+        run_ranks(program)
+        assert out["raised"]
+
+    def test_gpu_cache_warms(self):
+        caches = {}
+
+        def program(mpi):
+            if mpi.rank == 0:
+                d = mpi.charm.cuda.malloc(mpi.gpu, 64)
+                for i in range(3):
+                    yield mpi.send(d, 64, dst=1, tag=i)
+                caches["stats"] = (
+                    mpi.ampi.gpu_caches[0].hits, mpi.ampi.gpu_caches[0].misses
+                )
+            elif mpi.rank == 1:
+                d = mpi.charm.cuda.malloc(mpi.gpu, 64)
+                for i in range(3):
+                    yield mpi.recv(d, 64, src=0, tag=i)
+
+        run_ranks(program)
+        assert caches["stats"] == (2, 1)
+
+    def test_inter_node_device_large(self):
+        out = {}
+        size = 1 * MB
+
+        def program(mpi):
+            peers = (0, 6)  # different nodes
+            if mpi.rank not in peers:
+                return
+            buf = mpi.charm.cuda.malloc(mpi.gpu, size, materialize=True)
+            if mpi.rank == 0:
+                buf.data[:] = 123
+                yield mpi.send(buf, size, dst=6, tag=1)
+            else:
+                yield mpi.recv(buf, size, src=0, tag=1)
+                out["ok"] = bool((buf.data == 123).all())
+
+        run_ranks(program)
+        assert out["ok"]
+
+
+class TestVirtualization:
+    def test_multiple_ranks_per_pe(self):
+        out = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc_host(mpi.node, 8)
+            right = (mpi.rank + 1) % mpi.size
+            left = (mpi.rank - 1) % mpi.size
+            send = mpi.isend(buf, 8, dst=right, tag=0)
+            yield mpi.recv(buf, 8, src=left, tag=0)
+            yield send.event
+            out[mpi.rank] = True
+
+        charm, ampi = run_ranks(program, ranks_per_pe=2)
+        assert ampi.n_ranks == 2 * charm.n_pes
+        assert len(out) == ampi.n_ranks
+
+    def test_block_mapping(self):
+        charm = Charm(summit(nodes=1))
+        ampi = Ampi(charm, ranks_per_pe=2)
+        assert ampi.rank_pe(0) == 0 and ampi.rank_pe(1) == 0
+        assert ampi.rank_pe(2) == 1

@@ -1,0 +1,195 @@
+"""Tests for the collectives built on point-to-point."""
+
+import numpy as np
+import pytest
+
+from repro.ampi import Ampi
+from repro.charm import Charm
+from repro.config import summit
+
+
+def run_collective(program, nodes=2):
+    charm = Charm(summit(nodes=nodes))
+    ampi = Ampi(charm)
+    done = ampi.launch(program)
+    charm.run_until(done, max_events=10_000_000)
+    return ampi
+
+
+class TestBarrier:
+    def test_all_ranks_pass_together(self):
+        release_times = {}
+
+        def program(mpi):
+            from repro.sim.primitives import Timeout
+
+            # stagger arrivals; everyone leaves after the last arrival
+            yield Timeout(mpi.sim, mpi.rank * 1e-6)
+            yield from mpi.barrier()
+            release_times[mpi.rank] = mpi.sim.now
+
+        ampi = run_collective(program)
+        last_arrival = (ampi.n_ranks - 1) * 1e-6
+        assert all(t >= last_arrival for t in release_times.values())
+
+
+class TestBcast:
+    @pytest.mark.parametrize("root", [0, 3, 11])
+    def test_value_reaches_all(self, root):
+        got = {}
+
+        def program(mpi):
+            v = "payload" if mpi.rank == root else None
+            v = yield from mpi.bcast(v, root=root)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        assert got == {r: "payload" for r in range(ampi.n_ranks)}
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,expect", [
+        ("sum", sum(range(12))),
+        ("max", 11),
+        ("min", 0),
+    ])
+    def test_scalar_ops(self, op, expect):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.reduce(mpi.rank, op, root=0)
+            got[mpi.rank] = v
+
+        run_collective(program)
+        assert got[0] == expect
+        assert all(v is None for r, v in got.items() if r != 0)
+
+    def test_nonzero_root(self):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.reduce(1, "sum", root=5)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        assert got[5] == ampi.n_ranks
+
+    def test_array_reduce(self):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.reduce(np.full(3, float(mpi.rank)), "sum", root=0,
+                                      nbytes=24)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        assert (got[0] == sum(range(ampi.n_ranks))).all()
+
+
+class TestAllreduce:
+    def test_everyone_gets_result(self):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.allreduce(mpi.rank + 1, "sum")
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        expect = sum(range(1, ampi.n_ranks + 1))
+        assert got == {r: expect for r in range(ampi.n_ranks)}
+
+    def test_max(self):
+        got = {}
+
+        def program(mpi):
+            got[mpi.rank] = (yield from mpi.allreduce(mpi.rank % 5, "max"))
+
+        run_collective(program)
+        assert set(got.values()) == {4}
+
+
+class TestGatherScatter:
+    def test_gather_ordered_by_rank(self):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.gather(mpi.rank * 10, root=2)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        assert got[2] == [r * 10 for r in range(ampi.n_ranks)]
+        assert got[0] is None
+
+    def test_scatter(self):
+        got = {}
+
+        def program(mpi):
+            values = [f"v{r}" for r in range(mpi.size)] if mpi.rank == 1 else None
+            v = yield from mpi.scatter(values, root=1)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        assert got == {r: f"v{r}" for r in range(ampi.n_ranks)}
+
+    def test_scatter_requires_full_list(self):
+        failures = {}
+
+        def program(mpi):
+            if mpi.rank == 0:
+                try:
+                    yield from mpi.scatter(["too", "short"], root=0)
+                except ValueError:
+                    failures["raised"] = True
+            return
+            yield  # pragma: no cover
+
+        run_collective(program)
+        assert failures["raised"]
+
+    def test_allgather_ring(self):
+        got = {}
+
+        def program(mpi):
+            v = yield from mpi.allgather(mpi.rank ** 2)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        expect = [r ** 2 for r in range(ampi.n_ranks)]
+        assert all(v == expect for v in got.values())
+
+    def test_alltoall(self):
+        got = {}
+
+        def program(mpi):
+            values = [f"{mpi.rank}->{d}" for d in range(mpi.size)]
+            v = yield from mpi.alltoall(values)
+            got[mpi.rank] = v
+
+        ampi = run_collective(program)
+        for r, received in got.items():
+            assert received == [f"{s}->{r}" for s in range(ampi.n_ranks)]
+
+
+class TestDeviceCollectives:
+    def test_bcast_device_moves_gpu_payload(self):
+        got = {}
+
+        def program(mpi):
+            buf = mpi.charm.cuda.malloc(mpi.gpu, 2048)
+            if mpi.rank == 0:
+                buf.data[:] = 99
+            yield from mpi.bcast_device(buf, 2048, root=0)
+            got[mpi.rank] = bool((buf.data == 99).all())
+
+        ampi = run_collective(program)
+        assert all(got.values()) and len(got) == ampi.n_ranks
+
+    def test_bcast_device_rejects_host_buffer(self):
+        def program(mpi):
+            h = mpi.charm.cuda.malloc_host(mpi.node, 64)
+            with pytest.raises(ValueError):
+                list(mpi.bcast_device(h, 64, root=0))
+            return
+            yield  # pragma: no cover
+
+        run_collective(program)

@@ -1,0 +1,98 @@
+"""Tests for the figure/table harness and reporting helpers."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.reporting import Series, fmt_size, improvement_range, print_series
+from repro.config import KB, MB
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("x")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.xs == [1, 2] and s.ys == [10.0, 20.0]
+        assert s.at(2) == 20.0
+
+    def test_missing_x_raises(self):
+        with pytest.raises(KeyError):
+            Series("x", [(1, 1.0)]).at(5)
+
+    def test_improvement_range(self):
+        h = Series("h", [(1, 10.0), (2, 40.0)])
+        d = Series("d", [(1, 5.0), (2, 4.0)])
+        assert improvement_range(h, d) == (2.0, 10.0)
+
+    def test_improvement_range_needs_shared_points(self):
+        with pytest.raises(ValueError):
+            improvement_range(Series("h", [(1, 1.0)]), Series("d", [(2, 1.0)]))
+
+    def test_fmt_size(self):
+        assert fmt_size(512) == "512"
+        assert fmt_size(2 * KB) == "2K"
+        assert fmt_size(4 * MB) == "4M"
+
+    def test_print_series_renders(self, capsys):
+        print_series("demo", [Series("a", [(1, 1.5)]), Series("b", [(1, 2.5)])])
+        out = capsys.readouterr().out
+        assert "demo" in out and "1.50" in out and "2.50" in out
+
+
+SIZES = [8, 64 * KB, 4 * MB]
+
+
+class TestFigureRunners:
+    def test_fig10_structure(self):
+        series = figures.fig10(sizes=SIZES, quiet=True)
+        assert set(series) == {
+            f"{m}-{v}" for m in ("charm", "ampi", "openmpi", "charm4py")
+            for v in "HD"
+        }
+        for s in series.values():
+            assert s.xs == SIZES
+            assert all(v > 0 for v in s.ys)
+
+    def test_fig12_bandwidth_units(self):
+        series = figures.fig12(sizes=[4 * MB], quiet=True)
+        # MB/s at 4 MB: tens of thousands intra-node
+        assert series["charm-D"].at(4 * MB) > 10_000
+
+    def test_table1_shape_and_paper_consistency(self):
+        t = figures.table1(sizes=SIZES, quiet=True)
+        assert set(t) == {"charm", "ampi", "charm4py"}
+        for model, rows in t.items():
+            for key, (lo, hi) in rows.items():
+                assert 0 < lo <= hi, (model, key)
+        # headline orderings from Table I hold
+        assert t["charm4py"]["lat_intra"][1] > t["charm"]["lat_intra"][1]
+        assert t["charm"]["bw_inter"][1] < t["charm"]["bw_intra"][1]
+
+    def test_anatomy_reports_layers(self):
+        r = figures.ampi_overhead_anatomy(quiet=True)
+        assert r["ucx_us"] < r["openmpi_us"] < r["ampi_us"]
+        assert r["ampi_outside_ucx_us"] > 2.0
+
+    def test_ablation_gdrcopy_ordering(self):
+        r = figures.ablation_gdrcopy(sizes=[8, 512], quiet=True)
+        for x in (8, 512):
+            assert r["off"].at(x) > r["on"].at(x)
+
+    def test_ablation_early_post_penalty_positive(self):
+        r = figures.ablation_early_post(quiet=True)
+        assert r["penalty_us"] > 0
+
+    def test_ablation_gpudirect_wins(self):
+        r = figures.ablation_gpudirect(quiet=True)
+        assert r["gpudirect_us"] < r["pipelined_us"]
+
+    def test_ablation_pipeline_chunk_tradeoff(self):
+        r = figures.ablation_pipeline_chunk(chunks=[64 * KB, 512 * KB], quiet=True)
+        # tiny chunks pay more per-chunk overhead
+        assert r[64 * KB] < r[512 * KB] * 1.05
+
+    def test_ablation_ampi_dip_visible(self):
+        r = figures.ablation_ampi_dip(quiet=True)
+        on_dip = r["on"].at(128 * KB) / r["on"].at(64 * KB)
+        off_dip = r["off"].at(128 * KB) / r["off"].at(64 * KB)
+        assert on_dip < off_dip  # quirk depresses the 128 KB point

@@ -1,0 +1,84 @@
+"""Smoke tests for the CLI entry points and the example scripts."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps.jacobi3d import driver as jacobi_driver
+from repro.apps.osu import runner as osu_runner
+from repro.bench import figures
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestOsuCli:
+    def test_latency_output(self, capsys):
+        osu_runner.main(["latency", "charm", "--max-size", "1024"])
+        out = capsys.readouterr().out
+        assert "OSU latency: charm-D" in out
+        assert "1K" in out
+
+    def test_bandwidth_host_staging(self, capsys):
+        osu_runner.main(
+            ["bandwidth", "openmpi", "--host-staging", "--max-size", "256",
+             "--placement", "inter"]
+        )
+        out = capsys.readouterr().out
+        assert "openmpi-H (inter-node)" in out
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            osu_runner.main(["latency", "mvapich"])
+
+
+class TestJacobiCli:
+    def test_runs_and_prints(self, capsys):
+        jacobi_driver.main(["charm", "--nodes", "1", "--iters", "2"])
+        out = capsys.readouterr().out
+        assert "overall time per iteration" in out
+        assert "Jacobi3D charm-D" in out
+
+    def test_host_staging_flag(self, capsys):
+        jacobi_driver.main(["ampi", "--nodes", "1", "--iters", "2",
+                            "--host-staging"])
+        assert "ampi-H" in capsys.readouterr().out
+
+
+class TestFiguresCli:
+    def test_single_target(self, capsys):
+        figures.main(["anatomy"])
+        out = capsys.readouterr().out
+        assert "AMPI overhead anatomy" in out
+
+    def test_quick_flag(self, capsys):
+        figures.main(["ablation-gpudirect", "--quick"])
+        assert "rendezvous lane" in capsys.readouterr().out
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            figures.main(["fig99"])
+
+
+class TestExamples:
+    def _run(self, name):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+    def test_quickstart(self, capsys):
+        self._run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "GPU data from 'sender-chare' arrived" in out
+        assert "device sends: 1" in out
+
+    def test_ampi_cuda_aware(self, capsys):
+        self._run("ampi_cuda_aware.py")
+        out = capsys.readouterr().out
+        assert "global residual" in out
+        assert "finished at" in out
+
+    def test_jacobi3d_scaling_importable(self):
+        # only the functional-verification part (the sweep is exercised by
+        # the benchmarks); importing must not execute anything heavy
+        mod = runpy.run_path(str(EXAMPLES / "jacobi3d_scaling.py"))
+        mod["verify_small_grid"]()

@@ -1,0 +1,142 @@
+"""Collective algorithms at awkward rank counts (non-powers-of-two).
+
+Binomial trees, dissemination rounds and rings all have edge cases at
+P = 1, primes, and P just above/below powers of two; every algorithm is
+checked against its mathematical result for each count.
+"""
+
+import pytest
+
+from repro.ampi import Ampi
+from repro.charm import Charm
+from repro.config import summit
+
+COUNTS = [1, 2, 3, 5, 7, 8, 11, 12]
+
+
+def run_collective(n_ranks, program):
+    charm = Charm(summit(nodes=2))
+    ampi = Ampi(charm, n_ranks=n_ranks)
+    done = ampi.launch(program)
+    charm.run_until(done, max_events=20_000_000)
+    return ampi
+
+
+@pytest.mark.parametrize("p", COUNTS)
+def test_bcast_every_count(p):
+    got = {}
+
+    def program(mpi):
+        v = yield from mpi.bcast("x" if mpi.rank == 0 else None, root=0)
+        got[mpi.rank] = v
+
+    run_collective(p, program)
+    assert got == {r: "x" for r in range(p)}
+
+
+@pytest.mark.parametrize("p", COUNTS)
+def test_reduce_every_count(p):
+    got = {}
+
+    def program(mpi):
+        got[mpi.rank] = (yield from mpi.reduce(mpi.rank + 1, "sum", root=0))
+
+    run_collective(p, program)
+    assert got[0] == p * (p + 1) // 2
+
+
+@pytest.mark.parametrize("p", COUNTS)
+def test_allreduce_every_count(p):
+    got = {}
+
+    def program(mpi):
+        got[mpi.rank] = (yield from mpi.allreduce(mpi.rank, "max"))
+
+    run_collective(p, program)
+    assert set(got.values()) == {p - 1}
+
+
+@pytest.mark.parametrize("p", COUNTS)
+def test_allgather_every_count(p):
+    got = {}
+
+    def program(mpi):
+        got[mpi.rank] = (yield from mpi.allgather(mpi.rank * 3))
+
+    run_collective(p, program)
+    expect = [r * 3 for r in range(p)]
+    assert all(v == expect for v in got.values())
+
+
+@pytest.mark.parametrize("p", [1, 3, 7, 12])
+def test_barrier_every_count(p):
+    done_count = []
+
+    def program(mpi):
+        yield from mpi.barrier()
+        done_count.append(mpi.rank)
+
+    run_collective(p, program)
+    assert sorted(done_count) == list(range(p))
+
+
+@pytest.mark.parametrize("p", [2, 5, 12])
+def test_alltoall_every_count(p):
+    got = {}
+
+    def program(mpi):
+        values = [(mpi.rank, d) for d in range(mpi.size)]
+        got[mpi.rank] = (yield from mpi.alltoall(values))
+
+    run_collective(p, program)
+    for r in range(p):
+        assert got[r] == [(s, r) for s in range(p)]
+
+
+@pytest.mark.parametrize("p", [1, 3, 8, 12])
+@pytest.mark.parametrize("root", [0, -1])  # -1 = last rank
+def test_bcast_device_every_count(p, root):
+    root = root % p
+    got = {}
+
+    def program(mpi):
+        buf = mpi.charm.cuda.malloc(mpi.gpu, 512)
+        if mpi.rank == root:
+            buf.data[:] = 55
+        yield from mpi.bcast_device(buf, 512, root=root)
+        got[mpi.rank] = bool((buf.data == 55).all())
+
+    run_collective(p, program)
+    assert all(got.values()) and len(got) == p
+
+
+@pytest.mark.parametrize("p", [2, 5, 12])
+def test_reduce_device_every_count(p):
+    import numpy as np
+
+    got = {}
+
+    def program(mpi):
+        buf = mpi.charm.cuda.malloc(mpi.gpu, 64)
+        buf.data.view(np.float64)[:] = float(mpi.rank + 1)
+        yield from mpi.reduce_device(buf, 64, "sum", root=0)
+        if mpi.rank == 0:
+            got["v"] = float(buf.data.view(np.float64)[0])
+
+    run_collective(p, program)
+    assert got["v"] == p * (p + 1) / 2
+
+
+@pytest.mark.parametrize("p", [3, 5, 12])
+def test_nonzero_root_every_count(p):
+    got = {}
+
+    def program(mpi):
+        root = p - 1
+        v = yield from mpi.bcast("payload" if mpi.rank == root else None, root=root)
+        r = yield from mpi.reduce(1, "sum", root=root)
+        got[mpi.rank] = (v, r)
+
+    run_collective(p, program)
+    assert all(v == "payload" for v, _r in got.values())
+    assert got[p - 1][1] == p

@@ -1,0 +1,106 @@
+"""Tests for the configuration layer and public package surface."""
+
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+import repro
+from repro.config import (
+    GB,
+    KB,
+    MB,
+    LinkParams,
+    MachineConfig,
+    TagConfig,
+    TopologyConfig,
+    default_config,
+    summit,
+)
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        assert repro.summit is summit
+        assert isinstance(repro.default_config(), MachineConfig)
+
+
+class TestLinkParams:
+    def test_transfer_time(self):
+        p = LinkParams(latency=2e-6, bandwidth=1 * GB)
+        assert p.transfer_time(0) == 2e-6
+        assert p.transfer_time(1 * GB) == pytest.approx(2e-6 + 1.0)
+
+
+class TestTopology:
+    def test_summit_shape(self):
+        cfg = summit(nodes=4)
+        t = cfg.topology
+        assert t.nodes == 4
+        assert t.gpus_per_node == 6
+        assert t.total_gpus == 24
+        assert t.sockets_per_node == 2 and t.gpus_per_socket == 3
+
+    def test_link_speed_ordering(self):
+        t = TopologyConfig()
+        # X-Bus > NVLink > host memcpy > NIC is the Summit hierarchy
+        assert t.xbus.bandwidth > t.nvlink.bandwidth > t.nic.bandwidth
+        assert t.device_mem.bandwidth > t.nvlink.bandwidth
+
+    def test_configs_frozen(self):
+        cfg = summit()
+        with pytest.raises(FrozenInstanceError):
+            cfg.trace = True
+
+    def test_with_nodes(self):
+        assert summit(nodes=2).with_nodes(16).topology.nodes == 16
+
+    def test_without_gdrcopy(self):
+        assert summit().ucx.gdrcopy_enabled
+        assert not summit().without_gdrcopy().ucx.gdrcopy_enabled
+
+    def test_summit_overrides(self):
+        cfg = summit(nodes=1, trace=True, seed=7)
+        assert cfg.trace and cfg.seed == 7
+
+
+class TestTagConfigValidation:
+    def test_default_is_paper_split(self):
+        t = TagConfig()
+        assert (t.msg_bits, t.pe_bits, t.cnt_bits) == (4, 32, 28)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(ValueError):
+            TagConfig(msg_bits=8, pe_bits=32, cnt_bits=28)
+
+
+class TestUnits:
+    def test_byte_units(self):
+        assert KB == 1024 and MB == 1024**2 and GB == 1024**3
+
+
+class TestUcxDefaults:
+    def test_thresholds_sane(self):
+        u = summit().ucx
+        assert 0 < u.device_eager_threshold < u.host_rndv_threshold
+        assert u.pipeline_chunk >= 64 * KB
+        assert u.pipeline_num_stages >= 2
+
+    def test_runtime_overheads_positive(self):
+        rt = summit().runtime
+        for name in ("scheduler_pickup_overhead", "entry_dispatch_overhead",
+                     "ampi_send_overhead", "py_call_overhead",
+                     "charm_send_overhead", "ompi_send_overhead"):
+            assert getattr(rt, name) > 0
+
+    def test_ampi_overheads_exceed_openmpi(self):
+        rt = summit().runtime
+        assert rt.ampi_send_overhead > rt.ompi_send_overhead
+        assert rt.ampi_recv_overhead > rt.ompi_recv_overhead
+
+    def test_replace_produces_new_config(self):
+        cfg = summit()
+        cfg2 = replace(cfg, ucx=replace(cfg.ucx, gdrcopy_enabled=False))
+        assert cfg.ucx.gdrcopy_enabled and not cfg2.ucx.gdrcopy_enabled

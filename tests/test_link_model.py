@@ -1,0 +1,111 @@
+"""Tests for link-model refinements: control bypass, rails, pipelined
+rendezvous occupancy."""
+
+import pytest
+
+from repro.config import MB, summit
+from repro.hardware.links import CTRL_BYPASS_BYTES, path_transfer, path_transfer_time
+from repro.hardware.topology import Machine
+from repro.ucx.context import UcpContext
+
+
+@pytest.fixture
+def machine():
+    return Machine(summit(nodes=2))
+
+
+class TestControlBypass:
+    def test_small_messages_skip_occupancy(self, machine):
+        """A control message is not delayed by a bulk transfer holding the
+        same links (inline sends on InfiniBand)."""
+        sim = machine.sim
+        route = machine.route(machine.host_location(0), machine.host_location(1))
+        bulk_done = path_transfer(sim, route, 4 * MB)
+        ctrl_done = path_transfer(sim, route, 64)
+        times = {}
+        bulk_done.add_callback(lambda _e: times.setdefault("bulk", sim.now))
+        ctrl_done.add_callback(lambda _e: times.setdefault("ctrl", sim.now))
+        sim.run()
+        assert times["ctrl"] == pytest.approx(path_transfer_time(route, 64))
+        assert times["ctrl"] < times["bulk"]
+
+    def test_bypass_threshold(self, machine):
+        sim = machine.sim
+        route = machine.route(machine.host_location(0), machine.host_location(1))
+        path_transfer(sim, route, 4 * MB)  # occupies the rail
+        big_ctrl = path_transfer(sim, route, CTRL_BYPASS_BYTES + 1)
+        t = {}
+        big_ctrl.add_callback(lambda _e: t.setdefault("done", sim.now))
+        sim.run()
+        # above the threshold: queues behind the bulk transfer
+        assert t["done"] > path_transfer_time(route, 4 * MB)
+
+    def test_bypass_still_counts_bytes(self, machine):
+        route = machine.route(machine.host_location(0), machine.host_location(1))
+        path_transfer(machine.sim, route, 64)
+        machine.sim.run()
+        assert all(l.bytes_carried == 64 for l in route)
+
+
+class TestPipelinedOccupancy:
+    def test_staged_rndv_leaves_nvlinks_free(self, machine):
+        """Inter-node device rendezvous stages through host memory: the bulk
+        occupies the NIC rails, not the GPUs' NVLinks, so an intra-node
+        transfer on the same GPU proceeds concurrently."""
+        ctx = UcpContext(machine)
+        wa = ctx.create_worker(0, 0, 0)
+        wb = ctx.create_worker(1, 1, 0)
+        wc = ctx.create_worker(2, 0, 0)
+        size = 4 * MB
+        inter_src = machine.alloc_device(0, size, materialize=False)
+        inter_dst = machine.alloc_device(6, size, materialize=False)
+        wb.tag_recv_nb(inter_dst, size, tag=1)
+        wa.tag_send_nb(wa.ep(1), inter_src, size, tag=1)
+        # concurrently, gpu0 -> gpu1 intra-node IPC over the same nvlink0.tx
+        intra_src = machine.alloc_device(0, size, materialize=False)
+        intra_dst = machine.alloc_device(1, size, materialize=False)
+        req = wc.tag_recv_nb(intra_dst, size, tag=2)
+        wa.tag_send_nb(wa.ep(2), intra_src, size, tag=2)
+        machine.sim.run()
+        assert req.completed
+        # intra transfer finished well before the inter one would have, had
+        # the pipeline held nvlink0.tx for its full wire time
+        nvlink_time = size / machine.cfg.topology.nvlink.bandwidth
+        assert req.completed_at < 3 * nvlink_time + machine.cfg.cuda.ipc_handle_open_cost
+
+    def test_gpudirect_route_does_hold_nvlinks(self):
+        from dataclasses import replace
+
+        cfg = summit(nodes=2)
+        cfg = replace(cfg, ucx=replace(cfg.ucx, gpudirect_rdma=True))
+        machine = Machine(cfg)
+        ctx = UcpContext(machine)
+        wa = ctx.create_worker(0, 0, 0)
+        wb = ctx.create_worker(1, 1, 0)
+        size = 4 * MB
+        src = machine.alloc_device(0, size, materialize=False)
+        dst = machine.alloc_device(6, size, materialize=False)
+        wb.tag_recv_nb(dst, size, tag=1)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=1)
+        machine.sim.run()
+        assert machine.nodes[0].nvlink_tx[0].bytes_carried >= size
+
+
+class TestRailAffinity:
+    def test_sockets_use_distinct_rails(self, machine):
+        ctx = UcpContext(machine)
+        # gpu 0 (socket 0) and gpu 3 (socket 1) each stream to node 1
+        w0 = ctx.create_worker(0, 0, machine.socket_of_gpu(0))
+        w3 = ctx.create_worker(3, 0, machine.socket_of_gpu(3))
+        w6 = ctx.create_worker(6, 1, 0)
+        w9 = ctx.create_worker(9, 1, 1)
+        size = 2 * MB
+        bufs = {g: machine.alloc_device(g, size, materialize=False) for g in (0, 3, 6, 9)}
+        w6.tag_recv_nb(bufs[6], size, tag=1)
+        w9.tag_recv_nb(bufs[9], size, tag=2)
+        w0.tag_send_nb(w0.ep(6), bufs[0], size, tag=1)
+        w3.tag_send_nb(w3.ep(9), bufs[3], size, tag=2)
+        machine.sim.run()
+        node0 = machine.nodes[0]
+        assert node0.nic_tx[0].bytes_carried >= size
+        assert node0.nic_tx[1].bytes_carried >= size

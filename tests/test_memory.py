@@ -1,0 +1,118 @@
+"""Tests for buffers and device allocators."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.memory import Buffer, DeviceAllocator, MemoryKind, OutOfMemory, host_buffer
+
+
+class TestBuffer:
+    def test_device_buffer_requires_device_index(self):
+        with pytest.raises(ValueError):
+            Buffer(MemoryKind.DEVICE, 8, node=0)
+
+    def test_host_buffer_rejects_device_index(self):
+        with pytest.raises(ValueError):
+            Buffer(MemoryKind.HOST, 8, node=0, device=1)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Buffer(MemoryKind.HOST, 0, node=0)
+
+    def test_data_size_must_match(self):
+        with pytest.raises(ValueError):
+            Buffer(MemoryKind.HOST, 8, node=0, data=np.zeros(4, dtype=np.uint8))
+
+    def test_addresses_unique(self):
+        bufs = [host_buffer(0, 8) for _ in range(100)]
+        assert len({b.address for b in bufs}) == 100
+
+    def test_copy_from_moves_bytes(self):
+        a = host_buffer(0, 16, np.arange(16, dtype=np.uint8))
+        b = host_buffer(0, 16, np.zeros(16, dtype=np.uint8))
+        b.copy_from(a)
+        assert (b.data == a.data).all()
+
+    def test_partial_copy(self):
+        a = host_buffer(0, 16, np.full(16, 9, dtype=np.uint8))
+        b = host_buffer(0, 16, np.zeros(16, dtype=np.uint8))
+        b.copy_from(a, nbytes=4)
+        assert b.data[:4].tolist() == [9] * 4 and (b.data[4:] == 0).all()
+
+    def test_copy_exceeding_size_rejected(self):
+        a = host_buffer(0, 8, np.zeros(8, dtype=np.uint8))
+        b = host_buffer(0, 4, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            b.copy_from(a, nbytes=8)
+
+    def test_virtual_copy_is_noop(self):
+        a = host_buffer(0, 8)  # materialize defaults to None data here
+        b = host_buffer(0, 8, np.zeros(8, dtype=np.uint8))
+        assert a.is_virtual
+        b.copy_from(a)  # no crash, no data change
+        a.copy_from(b)
+
+    def test_use_after_free_rejected(self):
+        alloc = DeviceAllocator(1024, device=0, node=0)
+        buf = alloc.alloc(64)
+        other = alloc.alloc(64)
+        alloc.free(buf)
+        with pytest.raises(RuntimeError):
+            other.copy_from(buf)
+
+    def test_fill(self):
+        b = host_buffer(0, 8, np.zeros(8, dtype=np.uint8))
+        b.fill(7)
+        assert (b.data == 7).all()
+
+    def test_multidim_data_copies_flat(self):
+        src = host_buffer(0, 24, np.arange(6, dtype=np.float32).reshape(2, 3))
+        dst = host_buffer(0, 24, np.zeros((3, 2), dtype=np.float32))
+        dst.copy_from(src)
+        assert (dst.data.reshape(-1) == src.data.reshape(-1)).all()
+
+    def test_same_location(self):
+        a = Buffer(MemoryKind.DEVICE, 8, node=0, device=3)
+        b = Buffer(MemoryKind.DEVICE, 16, node=0, device=3)
+        c = Buffer(MemoryKind.DEVICE, 8, node=0, device=4)
+        assert a.same_location(b) and not a.same_location(c)
+
+
+class TestDeviceAllocator:
+    def test_tracks_usage(self):
+        alloc = DeviceAllocator(1000, device=0, node=0)
+        a = alloc.alloc(400)
+        assert alloc.used == 400 and alloc.live_buffers == 1
+        alloc.free(a)
+        assert alloc.used == 0 and alloc.live_buffers == 0
+
+    def test_oom_when_exhausted(self):
+        alloc = DeviceAllocator(100, device=0, node=0)
+        alloc.alloc(60)
+        with pytest.raises(OutOfMemory):
+            alloc.alloc(60)
+
+    def test_free_restores_capacity(self):
+        alloc = DeviceAllocator(100, device=0, node=0)
+        a = alloc.alloc(80)
+        alloc.free(a)
+        alloc.alloc(80)  # fits again
+
+    def test_double_free_rejected(self):
+        alloc = DeviceAllocator(100, device=0, node=0)
+        a = alloc.alloc(10)
+        alloc.free(a)
+        with pytest.raises(RuntimeError):
+            alloc.free(a)
+
+    def test_foreign_buffer_rejected(self):
+        a0 = DeviceAllocator(100, device=0, node=0)
+        a1 = DeviceAllocator(100, device=1, node=0)
+        buf = a0.alloc(10)
+        with pytest.raises(ValueError):
+            a1.free(buf)
+
+    def test_allocated_buffer_is_device_kind(self):
+        alloc = DeviceAllocator(100, device=2, node=1)
+        buf = alloc.alloc(10)
+        assert buf.on_device and buf.device == 2 and buf.node == 1

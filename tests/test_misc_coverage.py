@@ -1,0 +1,206 @@
+"""Coverage for smaller surfaces: worker stats, PE helpers, tracing
+integration, Charm4py device entry parameters, request objects."""
+
+import pytest
+
+from repro.charm import Charm, CkDeviceBuffer
+from repro.charm4py import Charm4py, PyChare
+from repro.config import KB, summit
+from repro.hardware.topology import Machine
+from repro.ucx.context import UcpContext
+from repro.ucx.request import RequestKind, UcxRequest
+from repro.ucx.status import UcsStatus
+
+
+class TestWorkerStats:
+    def test_send_recv_counters_and_endpoint_accounting(self):
+        m = Machine(summit(nodes=1))
+        ctx = UcpContext(m)
+        wa = ctx.create_worker(0, 0)
+        wb = ctx.create_worker(1, 0)
+        src, dst = m.alloc_host(0, 64), m.alloc_host(0, 64)
+        ep = wa.ep(1)
+        wb.tag_recv_nb(dst, 64, tag=1)
+        wa.tag_send_nb(ep, src, 64, tag=1)
+        m.sim.run()
+        assert wa.sends == 1 and wb.recvs == 1
+        assert ep.messages_sent == 1 and ep.bytes_sent == 64
+        assert not ep.is_loopback and ep.same_node
+
+    def test_worker_registry(self):
+        m = Machine(summit(nodes=2))
+        ctx = UcpContext(m)
+        w = ctx.create_worker(3, 1)
+        assert ctx.worker(3) is w
+        assert ctx.create_worker(3, 1) is w  # idempotent
+        with pytest.raises(ValueError):
+            ctx.create_worker(3, 0)  # conflicting node
+        assert ctx.worker_count == 1
+
+
+class TestRequestObject:
+    def test_double_completion_rejected(self):
+        from repro.sim.engine import Simulator
+
+        req = UcxRequest(Simulator(), RequestKind.SEND, tag=1, size=8)
+        req.complete()
+        with pytest.raises(RuntimeError):
+            req.complete()
+
+    def test_callback_invoked_with_request(self):
+        from repro.sim.engine import Simulator
+
+        seen = []
+        req = UcxRequest(Simulator(), RequestKind.RECV, tag=1, size=8,
+                         cb=seen.append)
+        req.complete(UcsStatus.OK, info=(1, 8))
+        assert seen == [req] and req.info == (1, 8)
+
+
+class TestPeHelpers:
+    def test_work_event_duration(self):
+        charm = Charm(summit(nodes=1))
+        pe = charm.pe_object(0)
+        ev = pe.work(5e-6)
+        charm.run()
+        assert ev.triggered and charm.time == pytest.approx(5e-6)
+
+    def test_negative_charge_rejected(self):
+        charm = Charm(summit(nodes=1))
+        with pytest.raises(ValueError):
+            charm.pe_object(0).charge(-1.0)
+
+    def test_messages_processed_counter(self):
+        from repro.charm import Chare
+
+        class Nop(Chare):
+            def __init__(self):
+                pass
+
+            def hit(self):
+                pass
+
+        charm = Charm(summit(nodes=1))
+        p = charm.create_chare(Nop, 2)
+        for _ in range(3):
+            p.hit()
+        charm.run()
+        assert charm.pe_object(2).messages_processed == 3
+
+
+class TestTracing:
+    def test_device_send_traced_through_layers(self):
+        from repro.charm import Chare
+
+        class Recv(Chare):
+            def __init__(self):
+                self.buf = self.charm.cuda.malloc(self.gpu, 256)
+
+            def take_post(self, posts):
+                posts[0].buffer = self.buf
+
+            def take(self, data):
+                pass
+
+        class Send(Chare):
+            def __init__(self):
+                self.buf = self.charm.cuda.malloc(self.gpu, 256)
+
+            def go(self, peer):
+                peer.take(CkDeviceBuffer.wrap(self.buf))
+
+        charm = Charm(summit(nodes=1))
+        s = charm.create_chare(Send, 0)
+        r = charm.create_chare(Recv, 1)
+        s.go(r)
+        charm.run()
+        counters = charm.machine.tracer.counters
+        assert counters["converse.send_device"] == 1
+        assert counters["converse.recv_device"] == 1
+        assert counters["ucx.send"] >= 1  # the tagged device send
+
+
+class TestCharm4pyDeviceEntryParams:
+    """Charm4py chares inherit the nocopydevice/post-entry machinery."""
+
+    def test_device_param_through_py_proxy(self):
+        got = {}
+
+        class PyRecv(PyChare):
+            def __init__(self):
+                self.buf = self.c4p.cuda.malloc(self.gpu, 1 * KB)
+
+            def take_post(self, posts):
+                posts[0].buffer = self.buf
+
+            def take(self, data):
+                got["bytes"] = data.size
+                got["ok"] = bool((data.data == 9).all())
+
+        class PySend(PyChare):
+            def __init__(self):
+                self.buf = self.c4p.cuda.malloc(self.gpu, 1 * KB)
+                self.buf.data[:] = 9
+
+            def go(self, peer):
+                peer.take(CkDeviceBuffer.wrap(self.buf))
+
+        c4p = Charm4py(summit(nodes=1))
+        s = c4p.create_chare(PySend, 0)
+        r = c4p.create_chare(PyRecv, 3)
+        s.go(r)
+        c4p.charm.run()
+        assert got == {"bytes": 1 * KB, "ok": True}
+
+    def test_py_dispatch_costs_more_than_charm(self):
+        """The same transfer takes longer through Charm4py chares."""
+        from repro.charm import Chare
+
+        def run(py: bool) -> float:
+            class R(PyChare if py else Chare):
+                def __init__(self):
+                    self.buf = (self.c4p if py else self.charm).cuda.malloc(
+                        self.gpu, 256
+                    )
+
+                def take_post(self, posts):
+                    posts[0].buffer = self.buf
+
+                def take(self, data):
+                    pass
+
+            class S(PyChare if py else Chare):
+                def __init__(self):
+                    self.buf = (self.c4p if py else self.charm).cuda.malloc(
+                        self.gpu, 256
+                    )
+
+                def go(self, peer):
+                    peer.take(CkDeviceBuffer.wrap(self.buf))
+
+            if py:
+                rt = Charm4py(summit(nodes=1))
+                s, r = rt.create_chare(S, 0), rt.create_chare(R, 1)
+                charm = rt.charm
+            else:
+                charm = Charm(summit(nodes=1))
+                s, r = charm.create_chare(S, 0), charm.create_chare(R, 1)
+            s.go(r)
+            charm.run()
+            return charm.time
+
+        assert run(py=True) > run(py=False)
+
+
+class TestEndpointLoopback:
+    def test_loopback_tagged_send(self):
+        m = Machine(summit(nodes=1))
+        ctx = UcpContext(m)
+        w = ctx.create_worker(0, 0)
+        src, dst = m.alloc_host(0, 32), m.alloc_host(0, 32)
+        src.data[:] = 4
+        req = w.tag_recv_nb(dst, 32, tag=5)
+        w.tag_send_nb(w.ep(0), src, 32, tag=5)
+        m.sim.run()
+        assert req.completed and (dst.data == 4).all()
+        assert w.ep(0).is_loopback

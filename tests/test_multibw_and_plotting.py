@@ -1,0 +1,93 @@
+"""Tests for the multi-pair bandwidth extension and ASCII plotting."""
+
+import pytest
+
+from repro.apps.osu.multibw import run_multi_pair_bandwidth
+from repro.bench.plotting import ascii_plot, plot_series_dict
+from repro.bench.reporting import Series
+from repro.config import MB, summit
+
+
+class TestMultiPairBandwidth:
+    def test_single_pair_matches_pt2pt_rate(self):
+        r = run_multi_pair_bandwidth(4 * MB, pairs=1)
+        assert len(r["per_pair"]) == 1
+        assert r["aggregate"] / 1e9 == pytest.approx(10.0, rel=0.1)
+
+    def test_dual_rail_aggregate_doubles(self):
+        """Six pairs span both socket rails: ~2x the aggregate of three
+        pairs saturating one rail (same contention pattern per rail)."""
+        three = run_multi_pair_bandwidth(4 * MB, pairs=3)["aggregate"]
+        six = run_multi_pair_bandwidth(4 * MB, pairs=6)["aggregate"]
+        assert six / three == pytest.approx(2.0, rel=0.1)
+
+    def test_single_rail_machine_does_not_scale(self):
+        from dataclasses import replace
+
+        cfg = summit(nodes=2)
+        cfg = replace(cfg, topology=replace(cfg.topology, nic_rails=1))
+        three = run_multi_pair_bandwidth(4 * MB, pairs=3, config=cfg)["aggregate"]
+        six = run_multi_pair_bandwidth(4 * MB, pairs=6, config=cfg)["aggregate"]
+        assert six / three < 1.3  # one rail: no headroom from more pairs
+
+    def test_pair_bounds_validated(self):
+        with pytest.raises(ValueError):
+            run_multi_pair_bandwidth(1 * MB, pairs=0)
+        with pytest.raises(ValueError):
+            run_multi_pair_bandwidth(1 * MB, pairs=7)
+
+    def test_intra_socket_pairs_share_a_rail(self):
+        """Three pairs on one socket share one rail -> ~1x aggregate; with
+        default config the pairs are socket-split only beyond 3."""
+        three = run_multi_pair_bandwidth(4 * MB, pairs=3)["aggregate"]
+        one = run_multi_pair_bandwidth(4 * MB, pairs=1)["aggregate"]
+        assert three / one == pytest.approx(1.0, rel=0.15)
+
+
+class TestAsciiPlot:
+    def test_renders_title_legend_and_bounds(self):
+        s1 = Series("alpha", [(1, 1.0), (1024, 10.0), (1 << 20, 100.0)])
+        s2 = Series("beta", [(1, 2.0), (1024, 20.0), (1 << 20, 200.0)])
+        out = ascii_plot("demo", [s1, s2])
+        assert "# demo" in out
+        assert "o alpha" in out and "x beta" in out
+        assert "1M" in out  # x-axis upper bound
+        assert "200" in out  # y-axis upper bound
+
+    def test_empty_series_handled(self):
+        assert "(no data)" in ascii_plot("empty", [Series("none")])
+
+    def test_plot_series_dict(self):
+        out = plot_series_dict("d", {"a": Series("a", [(1, 1.0), (2, 2.0)])})
+        assert "# d" in out
+
+    def test_figures_cli_plot_flag(self, capsys):
+        from repro.bench import figures
+
+        figures.main(["fig10", "--quick", "--plot"])
+        out = capsys.readouterr().out
+        assert "(log-log)" in out
+        assert "charm-D" in out
+
+
+class TestQuiescence:
+    def test_run_to_quiescence_drains_everything(self):
+        from repro.charm import Charm, Chare
+
+        class Fanout(Chare):
+            def __init__(self, hits):
+                self.hits = hits
+
+            def go(self, peers, depth):
+                self.hits.append(self.thisIndex)
+                if depth > 0:
+                    for i in range(len(peers)):
+                        peers[i].go(peers, depth - 1) if i == self.thisIndex else None
+
+        charm = Charm(summit(nodes=1))
+        hits = []
+        g = charm.create_group(Fanout, hits)
+        g.go(g, 2)
+        t = charm.run_to_quiescence(max_events=1_000_000)
+        assert t > 0 and len(hits) >= charm.n_pes
+        assert charm.sim.peek() is None  # truly quiescent

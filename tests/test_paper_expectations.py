@@ -1,0 +1,85 @@
+"""Tests for the paper-expectations data and the experiments generator."""
+
+import pytest
+
+from repro.bench import paper
+from repro.bench.experiments import generate
+
+
+class TestPaperData:
+    def test_table1_covers_all_models_and_keys(self):
+        for model in ("charm", "ampi", "charm4py"):
+            entry = paper.TABLE1[model]
+            for key in ("lat_intra", "eager_intra", "bw_intra",
+                        "lat_inter", "eager_inter", "bw_inter"):
+                assert key in entry
+
+    def test_ranges_are_ordered(self):
+        for model, entry in paper.TABLE1.items():
+            for key, val in entry.items():
+                if isinstance(val, paper.Range):
+                    assert val.lo <= val.hi, (model, key)
+
+    def test_range_str(self):
+        assert str(paper.Range(1.2, 4.1)) == "1.2x–4.1x"
+
+    def test_within_and_verdict(self):
+        assert paper.within(10.0, 11.0, rel=0.15)
+        assert not paper.within(10.0, 20.0, rel=0.15)
+        assert paper.verdict(44.5, 44.7, 0.15) == "ok"
+        assert paper.verdict(5.0, 44.7, 0.15) == "deviates"
+        assert paper.within(0.0, 0.0, rel=0.1)
+
+    def test_setup_constants_match_config(self):
+        """The hardware model must encode the paper's §IV-A machine."""
+        from repro.config import summit
+
+        topo = summit().topology
+        assert topo.gpus_per_node == paper.SETUP["gpus_per_node"]
+        # modelled link rates are effective rates below the theoretical
+        # peaks the paper quotes
+        assert topo.nvlink.bandwidth / 2**30 <= paper.SETUP["nvlink_gbs"]
+        assert topo.xbus.bandwidth / 2**30 <= paper.SETUP["xbus_gbs"]
+        assert topo.nic.bandwidth / 2**30 <= paper.SETUP["nic_gbs"]
+
+    def test_jacobi_expectations_present(self):
+        for model in ("charm", "ampi", "charm4py"):
+            assert "comm_speedup_weak" in paper.JACOBI[model]
+
+
+class TestExperimentsGenerator:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # the smallest meaningful configuration: one size ladder point set,
+        # two weak nodes, one strong pair
+        from repro.bench import experiments
+
+        return experiments.generate(
+            path=None, quick=True, iters=2
+        )
+
+    @pytest.mark.slow
+    def test_report_contains_all_sections(self, report):
+        for heading in (
+            "# EXPERIMENTS",
+            "## Table I",
+            "## §IV-B2",
+            "## §IV-B1",
+            "## Figs. 14–16",
+            "## Ablations",
+            "## Experiment index",
+        ):
+            assert heading in report
+
+    @pytest.mark.slow
+    def test_report_mentions_paper_values(self, report):
+        assert "44.7" in report  # Charm++ intra peak
+        assert "12.4" in report or "12.4x" in report  # Jacobi weak speedup
+
+    @pytest.mark.slow
+    def test_report_peaks_all_ok(self, report):
+        # every peak-bandwidth row must carry an "ok" verdict
+        section = report.split("## §IV-B2")[1].split("##")[0]
+        rows = [l for l in section.splitlines() if l.startswith("| charm") or
+                l.startswith("| ampi")]
+        assert rows and all("deviates" not in r for r in rows)

@@ -1,0 +1,175 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.primitives import SimEvent, Timeout
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "c")
+    sim.schedule(0.5, order.append, "a")
+    sim.schedule(1.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 2.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(1.0, order.append, name)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_zero_delay_runs_after_current_instant_queue():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.0, order.append, 1)
+    sim.schedule(0.0, lambda: (order.append(2), sim.schedule(0.0, order.append, 4)))
+    sim.schedule(0.0, order.append, 3)
+    sim.run()
+    assert order == [1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-9, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    fired = []
+    h = sim.schedule(1.0, fired.append, "x")
+    h.cancel()
+    assert h.cancelled
+    sim.run()
+    assert fired == []
+    assert sim.now == 0.0  # cancelled event does not advance time
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_events_at_exact_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [5.0]
+
+
+def test_nested_scheduling_during_execution():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        seen.append(("outer", sim.now))
+        sim.schedule(0.5, inner)
+
+    def inner():
+        seen.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_max_events_guards_against_loops():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as e:
+            errors.append(e)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    sim.schedule(3.0, ev.succeed, 42)
+    assert sim.run_until_complete(ev) == 42
+    assert sim.now == 3.0
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    ev = SimEvent(sim)  # never triggered
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(ev)
+
+
+def test_event_count_tracks_executions():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_timeout_event_integration():
+    sim = Simulator()
+    t = Timeout(sim, 2.5, value="done")
+    sim.run()
+    assert t.triggered and t.result() == "done"
+    assert sim.now == 2.5

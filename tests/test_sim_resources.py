@@ -1,0 +1,129 @@
+"""Tests for FIFO resources and the tracer."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_grants_up_to_capacity(sim):
+    r = Resource(sim, capacity=2)
+    a, b, c = r.acquire(), r.acquire(), r.acquire()
+    assert a.triggered and b.triggered and not c.triggered
+    r.release()
+    assert c.triggered
+
+
+def test_capacity_must_be_positive(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_waiters_granted_fifo(sim):
+    r = Resource(sim, capacity=1)
+    r.acquire()
+    order = []
+    for name in "abc":
+        r.acquire().add_callback(lambda _e, n=name: order.append(n))
+    for _ in range(3):
+        r.release()
+    assert order == ["a", "b", "c"]
+
+
+def test_release_idle_rejected(sim):
+    r = Resource(sim)
+    with pytest.raises(RuntimeError):
+        r.release()
+
+
+def test_occupy_holds_for_duration(sim):
+    r = Resource(sim, capacity=1)
+    done_times = []
+    r.occupy(2.0).add_callback(lambda _e: done_times.append(sim.now))
+    r.occupy(3.0).add_callback(lambda _e: done_times.append(sim.now))
+    sim.run()
+    assert done_times == [2.0, 5.0]  # second waits for the first
+
+
+def test_occupy_parallel_with_capacity(sim):
+    r = Resource(sim, capacity=2)
+    done_times = []
+    for _ in range(2):
+        r.occupy(2.0).add_callback(lambda _e: done_times.append(sim.now))
+    sim.run()
+    assert done_times == [2.0, 2.0]
+
+
+def test_utilisation_accounting(sim):
+    r = Resource(sim, capacity=1)
+    r.occupy(2.0)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert r.utilisation() == pytest.approx(0.2)
+    assert r.total_acquisitions == 1
+
+
+def test_on_next_release_fires_once(sim):
+    r = Resource(sim, capacity=1)
+    r.acquire()
+    hits = []
+    r.on_next_release(lambda: hits.append(sim.now))
+    r.release()
+    r.acquire()
+    r.release()
+    assert hits == [0.0]
+
+
+def test_queue_length(sim):
+    r = Resource(sim, capacity=1)
+    r.acquire()
+    r.acquire()
+    r.acquire()
+    assert r.queue_length == 2
+
+
+class TestTracer:
+    def test_counters_always_on(self, sim):
+        t = Tracer(sim, enabled=False)
+        t.emit("ucx", "send", size=8)
+        t.emit("ucx", "send", size=16)
+        assert t.counters["ucx.send"] == 2
+        assert t.records == []  # disabled: no record bodies
+
+    def test_records_when_enabled(self, sim):
+        t = Tracer(sim, enabled=True)
+        sim.schedule(1.0, t.emit, "charm", "entry")
+        sim.run()
+        recs = t.filter(category="charm")
+        assert len(recs) == 1 and recs[0].time == 1.0 and recs[0].event == "entry"
+
+    def test_span_accumulation(self, sim):
+        t = Tracer(sim)
+        t.span_begin("ampi", key=1)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert t.span_end("ampi", key=1) == pytest.approx(2.0)
+        assert t.time_in("ampi") == pytest.approx(2.0)
+
+    def test_span_end_without_begin_is_zero(self, sim):
+        t = Tracer(sim)
+        assert t.span_end("nope") == 0.0
+
+    def test_filter_by_event(self, sim):
+        t = Tracer(sim, enabled=True)
+        t.emit("a", "x")
+        t.emit("a", "y")
+        assert len(t.filter(category="a", event="x")) == 1
+
+    def test_reset_clears_everything(self, sim):
+        t = Tracer(sim, enabled=True)
+        t.emit("a", "x")
+        t.span_begin("s")
+        t.reset()
+        assert not t.records and not t.counters and t.time_in("s") == 0.0

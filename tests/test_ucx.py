@@ -1,0 +1,291 @@
+"""Tests for the UCX model: tag matching, protocols, AM path."""
+
+import numpy as np
+import pytest
+
+from repro.config import KB, MB, summit
+from repro.hardware.topology import Machine
+from repro.ucx.context import UcpContext
+from repro.ucx.protocols.pipeline import (
+    pipeline_effective_bandwidth,
+    pipeline_extra_time,
+)
+from repro.ucx.protocols.select import Protocol, choose_send_protocol
+from repro.ucx.status import UcsStatus, UcxError
+
+
+def make_pair(nodes=2, gpus=(0, 1), config=None):
+    cfg = config if config is not None else summit(nodes=nodes)
+    m = Machine(cfg)
+    ctx = UcpContext(m)
+    wa = ctx.create_worker(0, m.node_of_gpu(gpus[0]), m.socket_of_gpu(gpus[0]))
+    wb = ctx.create_worker(1, m.node_of_gpu(gpus[1]), m.socket_of_gpu(gpus[1]))
+    return m, ctx, wa, wb
+
+
+class TestProtocolSelection:
+    def test_host_small_is_eager(self):
+        m, ctx, *_ = make_pair()
+        buf = m.alloc_host(0, 1024)
+        assert choose_send_protocol(ctx.cfg, buf, 1024) is Protocol.EAGER
+
+    def test_host_large_is_rndv(self):
+        m, ctx, *_ = make_pair()
+        buf = m.alloc_host(0, 64 * KB)
+        assert choose_send_protocol(ctx.cfg, buf, 64 * KB) is Protocol.RNDV
+
+    def test_host_threshold_boundary(self):
+        m, ctx, *_ = make_pair()
+        th = ctx.cfg.host_rndv_threshold
+        buf = m.alloc_host(0, th)
+        assert choose_send_protocol(ctx.cfg, buf, th - 1) is Protocol.EAGER
+        assert choose_send_protocol(ctx.cfg, buf, th) is Protocol.RNDV
+
+    def test_device_threshold(self):
+        m, ctx, *_ = make_pair()
+        th = ctx.cfg.device_eager_threshold
+        buf = m.alloc_device(0, th)
+        assert choose_send_protocol(ctx.cfg, buf, th - 1) is Protocol.EAGER
+        assert choose_send_protocol(ctx.cfg, buf, th) is Protocol.RNDV
+
+    def test_negative_size_rejected(self):
+        m, ctx, *_ = make_pair()
+        with pytest.raises(ValueError):
+            choose_send_protocol(ctx.cfg, m.alloc_host(0, 8), -1)
+
+
+class TestTagMatching:
+    def test_expected_receive(self):
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 64), m.alloc_host(0, 64)
+        src.data[:] = 9
+        rreq = wb.tag_recv_nb(dst, 64, tag=5)
+        sreq = wa.tag_send_nb(wa.ep(1), src, 64, tag=5)
+        m.sim.run()
+        assert rreq.completed and sreq.completed
+        assert rreq.info == (5, 64)
+        assert (dst.data == 9).all()
+        assert wb.expected_hits == 1
+
+    def test_unexpected_receive(self):
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 64), m.alloc_host(0, 64)
+        src.data[:] = 7
+        wa.tag_send_nb(wa.ep(1), src, 64, tag=5)
+        m.sim.run()  # message parked in the unexpected queue
+        rreq = wb.tag_recv_nb(dst, 64, tag=5)
+        m.sim.run()
+        assert rreq.completed and (dst.data == 7).all()
+        assert wb.unexpected_hits == 1
+
+    def test_fifo_matching_same_tag(self):
+        m, ctx, wa, wb = make_pair()
+        srcs = []
+        for i in range(3):
+            s = m.alloc_host(0, 8)
+            s.data[:] = i + 1
+            srcs.append(s)
+            wa.tag_send_nb(wa.ep(1), s, 8, tag=1)
+        m.sim.run()
+        got = []
+        for _ in range(3):
+            d = m.alloc_host(0, 8)
+            req = wb.tag_recv_nb(d, 8, tag=1)
+            m.sim.run()
+            assert req.completed
+            got.append(int(d.data[0]))
+        assert got == [1, 2, 3]
+
+    def test_wildcard_mask_matches_any_counter(self):
+        from repro.core.device_tags import MsgType, make_tag, msg_type_mask
+
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 8), m.alloc_host(0, 8)
+        sent_tag = make_tag(MsgType.HOST, pe=0, count=77)
+        want = make_tag(MsgType.HOST, pe=0, count=0)
+        rreq = wb.tag_recv_nb(dst, 8, tag=want, mask=msg_type_mask())
+        wa.tag_send_nb(wa.ep(1), src, 8, tag=sent_tag)
+        m.sim.run()
+        assert rreq.completed and rreq.info[0] == sent_tag
+
+    def test_non_matching_tag_stays_posted(self):
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 8), m.alloc_host(0, 8)
+        rreq = wb.tag_recv_nb(dst, 8, tag=99)
+        wa.tag_send_nb(wa.ep(1), src, 8, tag=1)
+        m.sim.run()
+        assert not rreq.completed
+        assert len(wb.unexpected) == 1 and len(wb.posted) == 1
+
+    def test_truncation_error(self):
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 128), m.alloc_host(0, 16)
+        rreq = wb.tag_recv_nb(dst, 16, tag=2)
+        wa.tag_send_nb(wa.ep(1), src, 128, tag=2)
+        m.sim.run()
+        assert rreq.status is UcsStatus.ERR_MESSAGE_TRUNCATED
+
+    def test_send_size_exceeding_buffer_rejected(self):
+        m, ctx, wa, wb = make_pair()
+        src = m.alloc_host(0, 8)
+        with pytest.raises(UcxError):
+            wa.tag_send_nb(wa.ep(1), src, 16, tag=0)
+
+    def test_foreign_endpoint_rejected(self):
+        m, ctx, wa, wb = make_pair()
+        src = m.alloc_host(0, 8)
+        with pytest.raises(UcxError):
+            wb.tag_send_nb(wa.ep(1), src, 8, tag=0)
+
+
+class TestRendezvous:
+    def test_rndv_sender_completes_after_fin(self):
+        m, ctx, wa, wb = make_pair()
+        size = 1 * MB
+        src, dst = m.alloc_host(0, size), m.alloc_host(0, size)
+        rreq = wb.tag_recv_nb(dst, size, tag=3)
+        sreq = wa.tag_send_nb(wa.ep(1), src, size, tag=3)
+        m.sim.run()
+        assert sreq.completed and rreq.completed
+        # FIN comes back after the data: sender finishes last
+        assert sreq.completed_at >= rreq.completed_at
+
+    def test_rndv_data_integrity(self):
+        m, ctx, wa, wb = make_pair()
+        size = 256 * KB
+        src, dst = m.alloc_host(0, size), m.alloc_host(0, size)
+        src.data[:] = np.random.default_rng(1).integers(0, 255, size, dtype=np.uint8)
+        rreq = wb.tag_recv_nb(dst, size, tag=3)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=3)
+        m.sim.run()
+        assert rreq.completed and (dst.data == src.data).all()
+
+    def test_device_rndv_uses_ipc_cache(self):
+        m, ctx, wa, wb = make_pair()
+        size = 1 * MB
+        src = m.alloc_device(0, size, materialize=False)
+        dst = m.alloc_device(1, size, materialize=False)
+        # first transfer pays the IPC open; second is cached and faster
+        r1 = wb.tag_recv_nb(dst, size, tag=1)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=1)
+        m.sim.run()
+        t1 = m.sim.now
+        r2 = wb.tag_recv_nb(dst, size, tag=2)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=2)
+        m.sim.run()
+        t2 = m.sim.now - t1
+        assert r1.completed and r2.completed
+        assert t1 - t2 == pytest.approx(
+            m.cfg.cuda.ipc_handle_open_cost - m.cfg.cuda.ipc_cached_open_cost,
+            rel=0.05,
+        )
+
+    def test_inter_node_device_pipelined_slower_than_gpudirect(self):
+        size = 4 * MB
+
+        def run(gdr: bool):
+            from dataclasses import replace
+
+            cfg = summit(nodes=2)
+            cfg = replace(cfg, ucx=replace(cfg.ucx, gpudirect_rdma=gdr))
+            m, ctx, wa, wb = make_pair(gpus=(0, 6), config=cfg)
+            src = m.alloc_device(0, size, materialize=False)
+            dst = m.alloc_device(6, size, materialize=False)
+            wb.tag_recv_nb(dst, size, tag=1)
+            wa.tag_send_nb(wa.ep(1), src, size, tag=1)
+            m.sim.run()
+            return m.sim.now
+
+        assert run(False) > run(True)
+
+
+class TestEagerDevice:
+    def test_gdrcopy_eager_device_roundtrip(self):
+        m, ctx, wa, wb = make_pair()
+        src = m.alloc_device(0, 512)
+        dst = m.alloc_device(1, 512)
+        src.data[:] = 42
+        rreq = wb.tag_recv_nb(dst, 512, tag=9)
+        wa.tag_send_nb(wa.ep(1), src, 512, tag=9)
+        m.sim.run()
+        assert rreq.completed and (dst.data == 42).all()
+        assert ctx.gdrcopy.copies == 2  # copy-in + copy-out
+
+    def test_no_gdrcopy_is_much_slower(self):
+        def run(cfg):
+            m, ctx, wa, wb = make_pair(config=cfg)
+            src, dst = m.alloc_device(0, 64), m.alloc_device(1, 64)
+            wb.tag_recv_nb(dst, 64, tag=9)
+            wa.tag_send_nb(wa.ep(1), src, 64, tag=9)
+            m.sim.run()
+            return m.sim.now
+
+        base = summit(nodes=2)
+        with_gdr = run(base)
+        without = run(base.without_gdrcopy())
+        assert without > 3 * with_gdr  # the paper: detection is essential
+
+
+class TestPipelineModel:
+    def test_extra_time_zero_for_empty(self):
+        assert pipeline_extra_time(summit(), 0) == 0.0
+
+    def test_extra_grows_with_chunks(self):
+        cfg = summit()
+        assert pipeline_extra_time(cfg, 4 * MB) > pipeline_extra_time(cfg, 1 * MB)
+
+    def test_effective_bandwidth_below_nic(self):
+        cfg = summit()
+        bw = pipeline_effective_bandwidth(cfg, 4 * MB)
+        assert 0 < bw < cfg.topology.nic.bandwidth
+
+    def test_effective_bandwidth_monotone(self):
+        cfg = summit()
+        bws = [pipeline_effective_bandwidth(cfg, s) for s in (64 * KB, 512 * KB, 4 * MB)]
+        assert bws == sorted(bws)
+
+
+class TestAmPath:
+    def test_eager_delivery(self):
+        m, ctx, wa, wb = make_pair()
+        got = []
+        wb.set_am_handler(lambda payload, size, src: got.append((payload, size, src)))
+        wa.am_send(wa.ep(1), 128, payload={"k": 1})
+        m.sim.run()
+        assert got == [({"k": 1}, 128, 0)]
+
+    def test_rndv_delivery_and_sender_completion(self):
+        m, ctx, wa, wb = make_pair()
+        got = []
+        wb.set_am_handler(lambda payload, size, src: got.append(size))
+        req = wa.am_send(wa.ep(1), 1 * MB, payload="big")
+        m.sim.run()
+        assert got == [1 * MB] and req.completed
+
+    def test_loopback(self):
+        m, ctx, wa, wb = make_pair()
+        got = []
+        wa.set_am_handler(lambda payload, size, src: got.append(payload))
+        wa.am_send(wa.ep(0), 64, payload="self")
+        m.sim.run()
+        assert got == ["self"]
+
+    def test_missing_handler_raises(self):
+        m, ctx, wa, wb = make_pair()
+        wa.am_send(wa.ep(1), 64, payload=None)
+        with pytest.raises(UcxError):
+            m.sim.run()
+
+    def test_ordering_mixed_rndv_eager(self):
+        """A small eager AM can overtake an earlier *rendezvous* AM (its
+        delivery waits for the data fetch); the eager stream itself is
+        strictly ordered (see test_wire_ordering.py).  Converse-level users
+        that need ordering (AMPI envelopes) therefore stay below the
+        rendezvous threshold."""
+        m, ctx, wa, wb = make_pair()
+        got = []
+        wb.set_am_handler(lambda payload, size, src: got.append(payload))
+        wa.am_send(wa.ep(1), 64 * KB, payload="big-first")  # rndv
+        wa.am_send(wa.ep(1), 64, payload="small-second")  # eager
+        m.sim.run()
+        assert set(got) == {"big-first", "small-second"}

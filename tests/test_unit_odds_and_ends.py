@@ -1,0 +1,150 @@
+"""Unit-level coverage for small surfaces not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.charm import Charm, Chare
+from repro.config import summit
+
+
+class TestJacobiKernelsUnit:
+    """Pack/unpack/stencil kernels verified slice-by-slice, no runtime."""
+
+    def _field(self, shape=(4, 5, 6)):
+        rng = np.random.default_rng(3)
+        u = np.zeros(tuple(d + 2 for d in shape))
+        u[1:-1, 1:-1, 1:-1] = rng.random(shape)
+        return u
+
+    @pytest.mark.parametrize("direction,expected_slice", [
+        ("-x", np.s_[1, 1:-1, 1:-1]),
+        ("+x", np.s_[-2, 1:-1, 1:-1]),
+        ("-y", np.s_[1:-1, 1, 1:-1]),
+        ("+z", np.s_[1:-1, 1:-1, -2]),
+    ])
+    def test_pack_extracts_the_right_face(self, direction, expected_slice):
+        from repro.apps.jacobi3d.kernels import pack_kernel
+
+        u = self._field()
+        face = u[expected_slice]
+        out = np.zeros(face.size)
+        k = pack_kernel(direction, face.size * 8, u, out)
+        k.body()
+        assert np.allclose(out[: face.size], face.reshape(-1))
+
+    @pytest.mark.parametrize("direction,ghost_slice", [
+        ("-x", np.s_[0, 1:-1, 1:-1]),
+        ("+y", np.s_[1:-1, -1, 1:-1]),
+        ("-z", np.s_[1:-1, 1:-1, 0]),
+    ])
+    def test_unpack_fills_the_right_ghost(self, direction, ghost_slice):
+        from repro.apps.jacobi3d.kernels import unpack_kernel
+
+        u = self._field()
+        ghost_shape = u[ghost_slice].shape
+        src = np.arange(int(np.prod(ghost_shape)), dtype=float)
+        k = unpack_kernel(direction, src.size * 8, u, src)
+        k.body()
+        assert np.allclose(u[ghost_slice].reshape(-1), src)
+
+    def test_stencil_is_the_six_point_average(self):
+        from repro.apps.jacobi3d.kernels import stencil_kernel
+
+        u = self._field((3, 3, 3))
+        out = np.zeros_like(u)
+        stencil_kernel(27, u, out).body()
+        expect = (
+            u[:-2, 1:-1, 1:-1] + u[2:, 1:-1, 1:-1]
+            + u[1:-1, :-2, 1:-1] + u[1:-1, 2:, 1:-1]
+            + u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:]
+        ) / 6.0
+        assert np.allclose(out[1:-1, 1:-1, 1:-1], expect)
+
+    def test_virtual_kernels_have_no_body(self):
+        from repro.apps.jacobi3d.kernels import pack_kernel, stencil_kernel
+
+        assert pack_kernel("-x", 1024).body is None
+        assert stencil_kernel(1000).body is None
+        assert stencil_kernel(1000).bytes_moved == 16000
+
+
+class TestProxyMechanics:
+    class Probe(Chare):
+        def __init__(self, log):
+            self.log = log
+
+        def hit(self):
+            self.log.append(self.thisIndex)
+
+    def test_proxy_equality_and_hash(self):
+        charm = Charm(summit(nodes=1))
+        p = charm.create_chare(self.Probe, 0, [])
+        obj = charm.chares[p.chare_id]
+        assert obj.thisProxy == p
+        assert hash(obj.thisProxy) == hash(p)
+        assert p != object()
+
+    def test_private_attribute_access_raises(self):
+        charm = Charm(summit(nodes=1))
+        p = charm.create_chare(self.Probe, 0, [])
+        with pytest.raises(AttributeError):
+            p._secret  # noqa: B018
+
+    def test_collection_len_and_indexing(self):
+        charm = Charm(summit(nodes=1))
+        g = charm.create_group(self.Probe, [])
+        assert len(g) == charm.n_pes
+        assert g[0].chare_id != g[1].chare_id
+
+
+class TestPeDebtMechanics:
+    def test_current_delay_accumulates_and_resets(self):
+        charm = Charm(summit(nodes=1))
+        pe = charm.pe_object(0)
+        assert pe.current_delay() == 0.0
+        pe.charge(2e-6)
+        pe.charge(3e-6)
+        assert pe.current_delay() == pytest.approx(5e-6)
+        assert pe.take_debt() == pytest.approx(5e-6)
+        assert pe.current_delay() == 0.0
+
+
+class TestWeakScalingInvariant:
+    def test_cell_count_scales_with_nodes(self):
+        from repro.apps.jacobi3d.decomposition import weak_scaling_domain
+
+        base = 1536
+        for nodes in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+            dims = weak_scaling_domain(base, nodes)
+            assert np.prod([float(d) for d in dims]) == float(base) ** 3 * nodes
+
+
+class TestPlottingInternals:
+    def test_log_positions_monotone(self):
+        from repro.bench.plotting import _log_positions
+
+        pos = _log_positions([1, 10, 100, 1000], 1, 1000, 40)
+        assert pos == sorted(pos)
+        assert pos[0] == 0 and pos[-1] == 39
+
+    def test_nonpositive_values_pinned_low(self):
+        from repro.bench.plotting import _log_positions
+
+        assert _log_positions([0.0], 1, 10, 10)[0] == 0
+
+
+class TestDeviceEventRecord:
+    def test_fence_fires_with_stream_position(self):
+        from repro.hardware.cuda import CudaRuntime
+        from repro.hardware.gpu import DeviceEventRecord
+        from repro.hardware.topology import Machine
+
+        m = Machine(summit(nodes=1))
+        rt = CudaRuntime(m)
+        s = rt.create_stream(0)
+        d = rt.malloc(0, 1024)
+        h = rt.malloc_host(0, 1024)
+        rt.memcpy_dtoh(h, d, s)
+        record = DeviceEventRecord(stream=s, fence=s.drained())
+        m.sim.run()
+        assert record.fence.triggered
