@@ -1,0 +1,175 @@
+"""Scaling benchmark for the indexed tag-matching queues.
+
+The adversarial workload is *reversed-tag* traffic: each receiving worker
+posts K receives with tags K-1..0 and its peer sends tags 0..K-1, so every
+arrival sits at the **end** of the posted queue — a linear scan inspects the
+whole queue, Θ(K²) work per pair, while the indexed queue answers each
+lookup from its exact-tag bucket.  The *modeled* matching delay charges the
+virtual scan length either way, so all simulated results must stay
+bit-identical; only the host wall-clock may change.
+
+The ladder runs many PEs (8 concurrent pairs across 2 nodes) through the
+full UCX stack — workers, protocol selection, wire sequencing, link
+contention — and asserts
+
+* simulated fingerprints (clock, event counts, tracer counters, virtual
+  scan totals) identical between linear and indexed at every rung,
+* >= 2x wall-clock improvement at the largest rung,
+* the linear implementation's wall-clock grows *superlinearly* relative to
+  the indexed one's as K scales.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.config import summit
+from repro.hardware.topology import Machine
+from repro.openmpi import OpenMpi
+from repro.ucx.context import UcpContext
+
+N_PAIRS = 8
+LADDER = (50, 400, 2400)
+
+
+def _config(indexed, nodes=2):
+    cfg = summit(nodes=nodes)
+    return dataclasses.replace(
+        cfg,
+        ucx=dataclasses.replace(cfg.ucx, indexed_matching=indexed),
+        runtime=dataclasses.replace(cfg.runtime, indexed_matching=indexed),
+    )
+
+
+def _run_reversed_tags(k, indexed):
+    """N_PAIRS disjoint worker pairs; pair receivers post tags k-1..0, pair
+    senders send tags 0..k-1.  Returns (fingerprint, host_seconds)."""
+    m = Machine(_config(indexed))
+    ctx = UcpContext(m)
+    # pairs are intra-node (spread over both nodes): the cheap host_mem
+    # route keeps the wire out of the measurement so matching dominates
+    workers = [ctx.create_worker(i, (i // 2) % 2) for i in range(2 * N_PAIRS)]
+
+    t0 = time.perf_counter()
+    for p in range(N_PAIRS):
+        recv_worker = workers[2 * p + 1]
+        for tag in reversed(range(k)):
+            buf = m.alloc_host(recv_worker.node, 8, materialize=False)
+            recv_worker.tag_recv_nb(buf, 8, tag=tag)
+    for p in range(N_PAIRS):
+        send_worker, recv_worker = workers[2 * p], workers[2 * p + 1]
+        ep = send_worker.ep(recv_worker.worker_id)
+        for tag in range(k):
+            buf = m.alloc_host(send_worker.node, 8, materialize=False)
+            send_worker.tag_send_nb(ep, buf, 8, tag=tag)
+    m.sim.run()
+    wall = time.perf_counter() - t0
+
+    fingerprint = {
+        "now": m.sim.now,
+        "event_count": m.sim.event_count,
+        "counters": dict(m.tracer.counters),
+        "tag_scans": sum(w.tag_scans for w in workers),
+        "expected_hits": sum(w.expected_hits for w in workers),
+        "posted_left": sum(len(w.posted) for w in workers),
+    }
+    return fingerprint, wall
+
+
+def test_reversed_tag_ladder_identical_and_faster():
+    walls = {}
+    for k in LADDER:
+        fp_lin, wall_lin = _run_reversed_tags(k, indexed=False)
+        fp_idx, wall_idx = _run_reversed_tags(k, indexed=True)
+        assert fp_idx == fp_lin, f"simulated results diverged at K={k}"
+        # every arrival linear-scans the remaining posted queue end-to-end
+        assert fp_lin["tag_scans"] == N_PAIRS * k * (k + 1) // 2
+        assert fp_lin["expected_hits"] == N_PAIRS * k
+        assert fp_lin["posted_left"] == 0
+        walls[k] = (wall_lin, wall_idx)
+
+    k_max = LADDER[-1]
+    wall_lin, wall_idx = walls[k_max]
+    speedup = wall_lin / wall_idx
+    print(f"\nreversed-tag matching, K={k_max} x {N_PAIRS} pairs: "
+          f"linear {wall_lin:.3f}s, indexed {wall_idx:.3f}s ({speedup:.1f}x)")
+    assert speedup >= 2.0, (
+        f"indexed matching only {speedup:.2f}x faster at K={k_max}"
+    )
+    # superlinear separation: scaling K up inflates the linear queue's
+    # wall-clock far more than the indexed queue's
+    lin_growth = walls[k_max][0] / walls[LADDER[0]][0]
+    idx_growth = walls[k_max][1] / walls[LADDER[0]][1]
+    assert lin_growth > idx_growth, (
+        f"linear growth {lin_growth:.1f}x not superlinear vs indexed {idx_growth:.1f}x"
+    )
+
+
+def test_unexpected_queue_reversed_identical():
+    """Same adversarial shape on the *unexpected* queue: all sends land
+    first, then receives posted in reverse arrival order."""
+    k = 300
+    results = {}
+    for indexed in (False, True):
+        m = Machine(_config(indexed))
+        ctx = UcpContext(m)
+        wa = ctx.create_worker(0, 0)
+        wb = ctx.create_worker(1, 0)
+        for tag in range(k):
+            buf = m.alloc_host(0, 8, materialize=False)
+            wa.tag_send_nb(wa.ep(1), buf, 8, tag=tag)
+        m.sim.run()
+        assert len(wb.unexpected) == k
+        for tag in reversed(range(k)):
+            buf = m.alloc_host(0, 8, materialize=False)
+            wb.tag_recv_nb(buf, 8, tag=tag)
+        m.sim.run()
+        results[indexed] = {
+            "now": m.sim.now,
+            "event_count": m.sim.event_count,
+            "counters": dict(m.tracer.counters),
+            "tag_scans": wb.tag_scans,
+            "unexpected_hits": wb.unexpected_hits,
+            "unexpected_left": len(wb.unexpected),
+        }
+    assert results[True] == results[False]
+    assert results[False]["tag_scans"] == k * (k + 1) // 2
+    assert results[False]["unexpected_left"] == 0
+
+
+@pytest.mark.parametrize("indexed", [False, True])
+def test_full_mpi_stack_reversed_tags(indexed, request):
+    """Full-stack smoke at MPI level: a 12-rank ring where each rank posts
+    its receives in reverse tag order.  Stores the simulated fingerprint so
+    the two parametrisations can be compared."""
+    k = 40
+    lib = OpenMpi(_config(indexed))
+    n = lib.n_ranks
+
+    def program(mpi):
+        cuda = mpi.charm.cuda
+        left = (mpi.rank - 1) % n
+        right = (mpi.rank + 1) % n
+        reqs = []
+        for tag in reversed(range(k)):
+            buf = cuda.malloc_host(mpi.node, 64, materialize=False)
+            reqs.append(mpi.irecv(buf, 64, src=left, tag=tag))
+        for tag in range(k):
+            buf = cuda.malloc_host(mpi.node, 64, materialize=False)
+            reqs.append(mpi.isend(buf, 64, dst=right, tag=tag))
+        yield mpi.waitall(reqs)
+
+    done = lib.launch(program)
+    lib.run_until(done, max_events=50_000_000)
+    fp = {
+        "now": lib.machine.sim.now,
+        "event_count": lib.machine.sim.event_count,
+        "counters": dict(lib.machine.tracer.counters),
+        "tag_scans": sum(w.tag_scans for w in lib.ucp._workers.values()),
+    }
+    cache = request.config.cache
+    other = cache.get(f"matching_scaling/full_stack/{not indexed}", None)
+    if other is not None:
+        assert fp == other, "full-stack results diverged between queue kinds"
+    cache.set(f"matching_scaling/full_stack/{indexed}", fp)

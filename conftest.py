@@ -1,0 +1,54 @@
+"""Repo-wide pytest configuration: a per-test wall-clock ceiling.
+
+A hung simulation (an event loop that never drains, a deadlocked generator
+program) would otherwise stall the whole tier-1 run.  ``pytest-timeout`` is
+deliberately not a dependency — the ceiling is enforced with ``SIGALRM``,
+which is enough for the single-process, main-thread way this suite runs.
+The limit comes from the ``repro_test_timeout`` ini option (pyproject.toml)
+and can be overridden per-invocation with ``REPRO_TEST_TIMEOUT=<seconds>``
+(``0`` disables, e.g. for debugging under a debugger).
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addini(
+        "repro_test_timeout",
+        "per-test wall-clock ceiling in seconds (0 disables)",
+        default="180",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    raw = os.environ.get("REPRO_TEST_TIMEOUT")
+    if raw is None:
+        raw = request.config.getini("repro_test_timeout")
+    limit = int(float(raw))
+    usable = (
+        limit > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit}s wall-clock ceiling "
+            f"(REPRO_TEST_TIMEOUT overrides)"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old_handler)

@@ -6,6 +6,13 @@ so each PE keeps a cache of addresses already known to be device memory.
 Here the *answer* is free (``Buffer.on_device``); what the cache models is
 the *cost*: first sight of an address pays the driver query, repeats pay a
 hash-lookup.
+
+The cache must be **invalidated on free**: once a device buffer is freed the
+driver may hand its address to a later allocation — including a host one —
+and a stale entry would keep answering ``(True, hit_cost)`` for it (the
+failure mode the Dask/MVAPICH GPU work calls out).  Owners wire
+:meth:`invalidate` to the allocator's free hook
+(:meth:`repro.hardware.memory.DeviceAllocator.add_free_hook`).
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ class GpuPointerCache:
         self._known: Set[int] = set()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def check(self, buf: Buffer) -> tuple[bool, float]:
         """Returns ``(is_device, lookup_cost_seconds)``."""
@@ -35,3 +43,12 @@ class GpuPointerCache:
         if buf.on_device:
             self._known.add(buf.address)
         return buf.on_device, cost
+
+    def invalidate(self, address: int) -> bool:
+        """Drop ``address`` from the cache (buffer freed); returns whether
+        the address was cached."""
+        if address in self._known:
+            self._known.discard(address)
+            self.invalidations += 1
+            return True
+        return False

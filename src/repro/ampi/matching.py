@@ -4,14 +4,26 @@ If the host-side envelope arrives before the receive is posted, it waits in
 the **unexpected queue**; if the receive comes first, it waits in the
 **request queue**.  Matching is MPI-semantics FIFO on ``(comm, source,
 tag)`` with ``ANY_SOURCE``/``ANY_TAG`` wildcards.
+
+Both queues are indexed by the full ``(comm, src, tag)`` triple by default
+(:class:`~repro.core.matchq.IndexedMatchQueue`): wildcard-free receives and
+all envelopes are exact-bucket entries, receives using ``ANY_SOURCE`` or
+``ANY_TAG`` fall back to the FIFO wildcard list.  Matched entries are
+removed by queue *slot* (identity), never by value equality — ``list.remove``
+on dataclass entries compares every field and can both delete the wrong
+(equal-but-distinct) entry and crash outright when a field (e.g. a NumPy
+``value`` payload) has a non-boolean ``__eq__``.  The reported ``scanned``
+count remains the virtual linear-scan length, so the modeled
+``ampi_match_cost`` charge is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.device_buffer import CkDeviceBuffer
+from repro.core.matchq import make_match_queue
 from repro.hardware.memory import Buffer
 from repro.sim.primitives import SimEvent
 
@@ -55,27 +67,42 @@ class PostedMpiRecv:
         )
 
 
-class MatchEngine:
-    """Per-rank unexpected + posted queues."""
+def _recv_key(req: PostedMpiRecv):
+    """Bucket key of a posted receive; ``None`` routes wildcard receives to
+    the FIFO fallback list."""
+    if req.src == ANY_SOURCE or req.tag == ANY_TAG:
+        return None
+    return (req.comm, req.src, req.tag)
 
-    def __init__(self) -> None:
-        self.unexpected: List[AmpiEnvelope] = []
-        self.posted: List[PostedMpiRecv] = []
+
+class MatchEngine:
+    """Per-rank unexpected + posted queues.
+
+    ``indexed`` selects the hash-bucketed queues (the default; see module
+    docstring) or the reference linear lists — matching order and the
+    reported ``scanned`` counts are bit-identical either way.
+    """
+
+    def __init__(self, indexed: bool = True) -> None:
+        self.unexpected = make_match_queue(indexed)
+        self.posted = make_match_queue(indexed)
+        # cumulative virtual scan length (drives the modeled match cost)
+        self.scanned_total = 0
 
     def match_envelope(self, env: AmpiEnvelope) -> tuple[Optional[PostedMpiRecv], int]:
         """Envelope arrived: return (matching posted recv or None, #scanned)."""
-        for scanned, req in enumerate(self.posted):
-            if req.matches(env):
-                self.posted.remove(req)
-                return req, scanned + 1
-        self.unexpected.append(env)
-        return None, len(self.posted)
+        req, scanned = self.posted.match(
+            (env.comm, env.src, env.tag), lambda r: r.matches(env)
+        )
+        self.scanned_total += scanned
+        if req is None:
+            self.unexpected.append(env, key=(env.comm, env.src, env.tag))
+        return req, scanned
 
     def match_recv(self, req: PostedMpiRecv) -> tuple[Optional[AmpiEnvelope], int]:
         """Receive posted: return (matching unexpected envelope or None, #scanned)."""
-        for scanned, env in enumerate(self.unexpected):
-            if req.matches(env):
-                self.unexpected.remove(env)
-                return env, scanned + 1
-        self.posted.append(req)
-        return None, len(self.unexpected)
+        env, scanned = self.unexpected.match(_recv_key(req), req.matches)
+        self.scanned_total += scanned
+        if env is None:
+            self.posted.append(req, key=_recv_key(req))
+        return env, scanned

@@ -72,7 +72,7 @@ class AmpiRank:
         self.ampi = ampi
         self.rank = rank
         self.pe = pe
-        self.matching = MatchEngine()
+        self.matching = MatchEngine(indexed=ampi.rt.indexed_matching)
         self._seq_to: Dict[int, int] = {}
         self._cpu_free = 0.0  # serialises per-call CPU costs of nb ops
 
@@ -385,12 +385,19 @@ class Ampi:
             AmpiRank(self, r, pe=r * n_pes // self.n_ranks) for r in range(self.n_ranks)
         ]
         self.gpu_caches = [GpuPointerCache(self.rt) for _ in range(n_pes)]
+        # freed device addresses may be re-used by later (even host)
+        # allocations; drop them from every PE's pointer cache
+        self.machine.add_device_free_hook(self._on_device_free)
         self.pending_host_sends: Dict[int, SimEvent] = {}
         charm.converse.register_handler("ampi_msg", self._handle_envelope)
         charm.converse.register_handler("ampi_fin", self._handle_fin)
         charm.layer.register_device_recv_handler(
             DeviceRecvType.AMPI, lambda op: None  # completion runs via op.on_complete
         )
+
+    def _on_device_free(self, buf: Buffer) -> None:
+        for cache in self.gpu_caches:
+            cache.invalidate(buf.address)
 
     # -- launch --------------------------------------------------------------------
     def rank_pe(self, rank: int) -> int:

@@ -67,7 +67,11 @@ class Converse:
         self.layer.send_host_message(
             src_pe, msg.dst_pe, msg, wire, departure_delay=pe.current_delay()
         )
-        self.machine.tracer.emit("converse", "send", handler=msg.handler, bytes=wire)
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.emit("converse", "send", handler=msg.handler, bytes=wire)
+        else:
+            tracer.count("converse", "send")
 
     def cmi_send_device(
         self,

@@ -131,6 +131,17 @@ class DeviceAllocator:
         self.node = node
         self.used = 0
         self.live_buffers = 0
+        self._free_hooks: list = []
+
+    def add_free_hook(self, hook) -> None:
+        """Register ``hook(buf)`` to run when a buffer of this GPU is freed.
+
+        Address-keyed caches (AMPI's GPU-pointer cache, §III-C) must drop a
+        freed buffer's address here: the driver can hand the same address to
+        a later allocation — even a host one — and a stale cache entry would
+        keep answering "device memory" for it.
+        """
+        self._free_hooks.append(hook)
 
     def alloc(
         self,
@@ -154,6 +165,8 @@ class DeviceAllocator:
         buf.freed = True
         self.used -= buf.size
         self.live_buffers -= 1
+        for hook in self._free_hooks:
+            hook(buf)
 
 
 def host_buffer(node: int, size: int, data: Optional[np.ndarray] = None) -> Buffer:

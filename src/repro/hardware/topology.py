@@ -133,6 +133,12 @@ class Machine:
     def free_device(self, buf: Buffer) -> None:
         self.allocators[buf.device].free(buf)
 
+    def add_device_free_hook(self, hook) -> None:
+        """Run ``hook(buf)`` whenever any GPU buffer of this machine is freed
+        (see :meth:`DeviceAllocator.add_free_hook`)."""
+        for allocator in self.allocators.values():
+            allocator.add_free_hook(hook)
+
     def alloc_host(
         self, node: int, size: int, materialize: Optional[bool] = None
     ) -> Buffer:

@@ -34,14 +34,17 @@ class _Entry:
 class Handle:
     """Cancellation handle returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
         self._entry = entry
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing; safe to call multiple times."""
-        self._entry.cancelled = True
+        if not self._entry.cancelled:
+            self._entry.cancelled = True
+            self._sim._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -72,12 +75,16 @@ class Simulator:
     1.5
     """
 
+    #: cancelled entries tolerated in the heap before a compaction pass
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
         self._heap: list[_Entry] = []
         self._running = False
         self._event_count = 0
+        self._cancelled_count = 0
 
     @property
     def now(self) -> float:
@@ -100,16 +107,33 @@ class Simulator:
         entry = _Entry(self._now + delay, self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return Handle(entry)
+        return Handle(entry, self)
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
         return self.schedule(when - self._now, fn, *args)
 
+    def _note_cancelled(self) -> None:
+        """Lazy-deletion bookkeeping: when tombstoned entries dominate the
+        agenda, rebuild the heap without them.  Ordering is untouched —
+        entries keep their ``(time, seq)`` keys, so ``heapify`` restores the
+        exact same execution order and determinism is preserved."""
+        self._cancelled_count += 1
+        heap = self._heap
+        if (
+            self._cancelled_count >= self._COMPACT_MIN
+            and self._cancelled_count * 2 > len(heap)
+        ):
+            self._heap = [e for e in heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_count = 0
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the agenda is empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            if self._cancelled_count > 0:
+                self._cancelled_count -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -117,6 +141,8 @@ class Simulator:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
+                if self._cancelled_count > 0:
+                    self._cancelled_count -= 1
                 continue
             if entry.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event heap corrupted: time went backwards")

@@ -5,13 +5,21 @@ Every layer can emit :class:`TraceRecord` entries through a shared
 ``"machine"``, ``"ampi"``…) to attribute time to layers — this is how the
 reproduction of the paper's §IV-B1 overhead-anatomy experiment (the ~8 μs of
 AMPI time outside UCX) is measured rather than asserted.
+
+``emit`` sits on the per-message hot path of every layer, so a disabled
+tracer must be near-free: counters are kept in a plain dict keyed by the
+``(category, event)`` tuple (no f-string formatting, no ``Counter`` hashing
+per event) and only materialised into the dotted-key :class:`Counter` view
+when :attr:`Tracer.counters` is actually read.  Hot call sites that would
+otherwise build a ``detail`` kwargs dict per event can call :meth:`count`
+directly when ``enabled`` is False.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -31,23 +39,53 @@ class Tracer:
         self.sim = sim
         self.enabled = enabled
         self.records: List[TraceRecord] = []
-        self.counters: Counter = Counter()
+        self._counts: Dict[Tuple[str, str], int] = {}
+        self._counters_view: Optional[Counter] = None
         self._time_acc: Dict[str, float] = defaultdict(float)
-        self._open_spans: Dict[tuple, float] = {}
+        # per-(category, key) stacks of open-span start times: the same span
+        # key may be opened re-entrantly (nested calls); ends pop LIFO
+        self._open_spans: Dict[tuple, List[float]] = {}
+
+    def count(self, category: str, event: str) -> None:
+        """Bump the ``category.event`` counter without any record/formatting
+        work — the hot-path alternative to :meth:`emit` while disabled."""
+        key = (category, event)
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + 1
+        self._counters_view = None
 
     def emit(self, category: str, event: str, **detail: Any) -> None:
-        self.counters[f"{category}.{event}"] += 1
+        key = (category, event)
+        counts = self._counts
+        counts[key] = counts.get(key, 0) + 1
+        self._counters_view = None
         if self.enabled:
             self.records.append(TraceRecord(self.sim.now, category, event, detail))
 
+    @property
+    def counters(self) -> Counter:
+        """Counter view keyed ``"category.event"`` (built lazily on read)."""
+        view = self._counters_view
+        if view is None:
+            view = Counter(
+                {f"{c}.{e}": n for (c, e), n in self._counts.items()}
+            )
+            self._counters_view = view
+        return view
+
     # -- span accounting (always on; cheap) ---------------------------------
     def span_begin(self, category: str, key: Any = None) -> None:
-        self._open_spans[(category, key)] = self.sim.now
+        stack = self._open_spans.get((category, key))
+        if stack is None:
+            self._open_spans[(category, key)] = [self.sim.now]
+        else:
+            stack.append(self.sim.now)
 
     def span_end(self, category: str, key: Any = None) -> float:
-        start = self._open_spans.pop((category, key), None)
-        if start is None:
+        stack = self._open_spans.get((category, key))
+        if not stack:
             return 0.0
+        start = stack.pop()
         elapsed = self.sim.now - start
         self._time_acc[category] += elapsed
         return elapsed
@@ -66,6 +104,7 @@ class Tracer:
 
     def reset(self) -> None:
         self.records.clear()
-        self.counters.clear()
+        self._counts.clear()
+        self._counters_view = None
         self._time_acc.clear()
         self._open_spans.clear()

@@ -11,13 +11,21 @@ Matching is FIFO with wildcard masks: an incoming tag ``t`` matches a posted
 entry ``(tag, mask)`` iff ``t & mask == tag & mask``.  This ordering
 guarantee is what the Charm++ machine layer's per-(PE, counter) device tags
 rely on for correctness.
+
+Both queues are :class:`~repro.core.matchq.IndexedMatchQueue` instances by
+default (hash buckets on the full tag, wildcard-mask fallback list), so the
+host-side lookup is O(1) amortised for full-mask traffic while the *modeled*
+``tag_match_cost * scanned`` delay still charges the virtual linear-scan
+length.  ``UcxConfig.indexed_matching=False`` selects the reference linear
+lists; simulated results are bit-identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
+from repro.core.matchq import make_match_queue
 from repro.hardware.links import path_transfer
 from repro.hardware.memory import Buffer
 from repro.ucx.constants import (
@@ -58,8 +66,9 @@ class UcpWorker:
         self.worker_id = worker_id
         self.node = node
         self.socket = socket
-        self.posted: List[PostedRecv] = []
-        self.unexpected: List[WireMessage] = []
+        indexed = ctx.cfg.indexed_matching
+        self.posted = make_match_queue(indexed)
+        self.unexpected = make_match_queue(indexed)
         self.pending_rndv_sends: Dict[int, UcxRequest] = {}
         self._endpoints: Dict[int, UcpEndpoint] = {}
         # per-directed-pair wire sequencing: matchable messages (EAGER/RTS)
@@ -77,6 +86,9 @@ class UcpWorker:
         self.recvs = 0
         self.unexpected_hits = 0
         self.expected_hits = 0
+        # total virtual scan length over all matches (what a linear scan
+        # would have inspected); the modeled matching delay is proportional
+        self.tag_scans = 0
 
     # -- endpoints ------------------------------------------------------------
     def ep(self, remote_id: int) -> UcpEndpoint:
@@ -104,9 +116,11 @@ class UcpWorker:
         ep.bytes_sent += size
         req = UcxRequest(self.sim, RequestKind.SEND, tag, size, cb)
         proto = choose_send_protocol(self.ctx.cfg, buf, size)
-        self.ctx.machine.tracer.emit(
-            "ucx", "send", tag=tag, size=size, proto=proto.value
-        )
+        tracer = self.ctx.machine.tracer
+        if tracer.enabled:
+            tracer.emit("ucx", "send", tag=tag, size=size, proto=proto.value)
+        else:
+            tracer.count("ucx", "send")
         # matching order follows the tag_send_nb call order, whatever the
         # protocols' differing pre-send delays do to physical arrival order
         seq = self._tx_seq.get(ep.remote.worker_id, 0)
@@ -138,24 +152,33 @@ class UcpWorker:
         posted = PostedRecv(tag, mask, buf, size, req)
         base = cfg.recv_overhead + cfg.request_alloc_cost
 
-        for scanned, msg in enumerate(self.unexpected):
-            if (msg.tag & mask) == (tag & mask):
-                self.unexpected.remove(msg)
-                self.unexpected_hits += 1
-                delay = base + cfg.tag_match_cost * (scanned + 1)
-                self._dispatch_match(msg, posted, delay)
-                return req
+        # unexpected messages carry concrete tags (their queue key); a
+        # full-mask receive is an exact lookup, a masked one falls back to
+        # the FIFO scan.
+        lookup = (tag & TAG_MASK_FULL) if mask == TAG_MASK_FULL else None
+        msg, scanned = self.unexpected.match(
+            lookup, lambda m: (m.tag & mask) == (tag & mask)
+        )
+        if msg is not None:
+            self.unexpected_hits += 1
+            self.tag_scans += scanned
+            delay = base + cfg.tag_match_cost * scanned
+            self._dispatch_match(msg, posted, delay)
+            return req
 
-        self.posted.append(posted)
+        self.posted.append(
+            posted, key=((tag & TAG_MASK_FULL) if mask == TAG_MASK_FULL else None)
+        )
         return req
 
     def tag_probe_nb(self, tag: int, mask: int = TAG_MASK_FULL):
         """``ucp_tag_probe_nb``: peek the unexpected queue for a matching
         message without consuming it.  Returns ``(tag, size)`` or ``None``."""
-        for msg in self.unexpected:
-            if (msg.tag & mask) == (tag & mask):
-                return (msg.tag, msg.size)
-        return None
+        lookup = (tag & TAG_MASK_FULL) if mask == TAG_MASK_FULL else None
+        msg = self.unexpected.peek(
+            lookup, lambda m: (m.tag & mask) == (tag & mask)
+        )
+        return None if msg is None else (msg.tag, msg.size)
 
     def cancel(self, req: UcxRequest) -> bool:
         """``ucp_request_cancel``: cancel a posted receive that has not
@@ -163,11 +186,9 @@ class UcpWorker:
         ``ERR_CANCELED``), False if it already matched/completed."""
         if req.completed:
             return False
-        for posted in self.posted:
-            if posted.req is req:
-                self.posted.remove(posted)
-                req.complete(UcsStatus.ERR_CANCELED)
-                return True
+        if self.posted.remove_first(lambda p: p.req is req) is not None:
+            req.complete(UcsStatus.ERR_CANCELED)
+            return True
         return False
 
     # -- active-message host path -----------------------------------------------
@@ -320,7 +341,11 @@ class UcpWorker:
 
     def _on_wire(self, msg: WireMessage) -> None:
         """A message arrived (called at its simulated arrival instant)."""
-        self.ctx.machine.tracer.emit("ucx", "arrive", kind=msg.kind.value, tag=msg.tag)
+        tracer = self.ctx.machine.tracer
+        if tracer.enabled:
+            tracer.emit("ucx", "arrive", kind=msg.kind.value, tag=msg.tag)
+        else:
+            tracer.count("ucx", "arrive")
         if msg.kind is WireKind.FIN:
             rndv_proto.finish_send(self, msg)
             return
@@ -346,14 +371,19 @@ class UcpWorker:
         if msg.wire_seq is not None:
             self._rx_next[src] = msg.wire_seq + 1
         base = cfg.progress_overhead
-        for scanned, posted in enumerate(self.posted):
-            if posted.matches(msg.tag):
-                self.posted.remove(posted)
-                self.expected_hits += 1
-                delay = base + cfg.tag_match_cost * (scanned + 1)
-                self._dispatch_match(msg, posted, delay)
-                return
-        self.unexpected.append(msg)
+        # posted receives with a full mask are bucketed under their tag;
+        # masked receives live in the wildcard fallback and are checked via
+        # the predicate — FIFO order across both is preserved by slot order.
+        posted, scanned = self.posted.match(
+            msg.tag & TAG_MASK_FULL, lambda p: p.matches(msg.tag)
+        )
+        if posted is not None:
+            self.expected_hits += 1
+            self.tag_scans += scanned
+            delay = base + cfg.tag_match_cost * scanned
+            self._dispatch_match(msg, posted, delay)
+            return
+        self.unexpected.append(msg, key=msg.tag & TAG_MASK_FULL)
 
     def _dispatch_match(self, msg: WireMessage, posted: PostedRecv, delay: float) -> None:
         if msg.kind is WireKind.EAGER:

@@ -1,0 +1,160 @@
+"""Golden comparison: indexed matching must be *bit-identical* to linear.
+
+``IndexedMatchQueue`` is a pure host-side optimisation — the simulated
+world (completion times, event counts, tracer counters, virtual scan
+lengths) must not move by one bit when it replaces the linear reference
+queues.  These tests run the same deterministic mixed workload (host +
+device messages, exact and wildcard receives) under both
+``indexed_matching`` settings and compare full result fingerprints.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ampi import Ampi
+from repro.charm import Charm
+from repro.config import summit
+from repro.openmpi import OpenMpi
+
+ANY = -1  # MPI_ANY_SOURCE / MPI_ANY_TAG in both layers
+
+N_RANKS = 12
+NODES = 2
+CAPACITY = 64 * 1024  # recv buffers; every planned message fits
+
+
+def make_plan(seed, n_msgs, device_fraction=0.25):
+    """Deterministic message plan: (id, src, dst, tag, size, dev, wild_src,
+    wild_tag).  Wildcard receives stress the fallback list; device messages
+    stress the UCX tag path under AMPI.
+
+    Device messages use a disjoint tag space (10..13) and exact receives so
+    a host-posted wildcard can never match a device-sent payload (mixed
+    host/device pt2pt is outside the modeled scope).  Wildcard receives are
+    ``(ANY_SOURCE, tag=4)`` with tag 4 reserved for them: wildcards then only
+    compete with each other, so any steal is still completable and the
+    workload cannot deadlock."""
+    rng = np.random.default_rng(seed)
+    plan = []
+    for i in range(n_msgs):
+        src = int(rng.integers(0, N_RANKS))
+        dst = int(rng.integers(0, N_RANKS - 1))
+        if dst >= src:
+            dst += 1
+        tag = int(rng.integers(0, 4))
+        size = int(rng.integers(1, 32 * 1024))
+        dev = bool(rng.random() < device_fraction)
+        wild_src = bool(rng.random() < 0.3) and not dev
+        if dev:
+            tag += 10
+        elif wild_src:
+            tag = 4
+        plan.append((i, src, dst, tag, size, dev, wild_src, False))
+    return plan
+
+
+def _config(indexed):
+    cfg = summit(nodes=NODES)
+    return dataclasses.replace(
+        cfg,
+        ucx=dataclasses.replace(cfg.ucx, indexed_matching=indexed),
+        runtime=dataclasses.replace(cfg.runtime, indexed_matching=indexed),
+    )
+
+
+def _make_program(plan, sim, payloads, finish_times):
+    def program(mpi):
+        cuda = mpi.charm.cuda
+        my_recvs = [p for p in plan if p[2] == mpi.rank]
+        my_sends = [p for p in plan if p[1] == mpi.rank]
+        reqs = []
+        recv_bufs = []
+        for i, src, dst, tag, size, dev, wild_src, wild_tag in my_recvs:
+            buf = (cuda.malloc(mpi.gpu, CAPACITY, materialize=True) if dev
+                   else cuda.malloc_host(mpi.node, CAPACITY, materialize=True))
+            recv_bufs.append((i, buf))
+            reqs.append(mpi.irecv(buf, CAPACITY,
+                                  src=ANY if wild_src else src,
+                                  tag=ANY if wild_tag else tag))
+        for i, src, dst, tag, size, dev, wild_src, wild_tag in my_sends:
+            buf = (cuda.malloc(mpi.gpu, size, materialize=True) if dev
+                   else cuda.malloc_host(mpi.node, size, materialize=True))
+            buf.data[:] = i % 251
+            reqs.append(mpi.isend(buf, size, dst=dst, tag=tag))
+        yield mpi.waitall(reqs)
+        finish_times[mpi.rank] = sim.now
+        for i, buf in recv_bufs:
+            payloads[i] = int(buf.data[0])
+
+    return program
+
+
+def run_openmpi(plan, indexed):
+    lib = OpenMpi(_config(indexed))
+    payloads, finish = {}, {}
+    done = lib.launch(_make_program(plan, lib.machine.sim, payloads, finish))
+    lib.run_until(done, max_events=50_000_000)
+    sim = lib.machine.sim
+    workers = list(lib.ucp._workers.values())
+    return {
+        "payloads": payloads,
+        "finish_times": finish,
+        "now": sim.now,
+        "event_count": sim.event_count,
+        "counters": dict(lib.machine.tracer.counters),
+        "tag_scans": sum(w.tag_scans for w in workers),
+        "expected_hits": sum(w.expected_hits for w in workers),
+        "unexpected_hits": sum(w.unexpected_hits for w in workers),
+    }
+
+
+def run_ampi(plan, indexed):
+    charm = Charm(_config(indexed))
+    lib = Ampi(charm)
+    payloads, finish = {}, {}
+    done = lib.launch(_make_program(plan, charm.sim, payloads, finish))
+    charm.run_until(done, max_events=50_000_000)
+    stats = charm.layer.matching_stats()
+    return {
+        "payloads": payloads,
+        "finish_times": finish,
+        "now": charm.sim.now,
+        "event_count": charm.sim.event_count,
+        "counters": dict(charm.machine.tracer.counters),
+        "ucx_stats": stats,
+        "ampi_scanned": sum(r.matching.scanned_total for r in lib.ranks),
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_openmpi_indexed_bit_identical_to_linear(seed):
+    plan = make_plan(seed, n_msgs=60)
+    linear = run_openmpi(plan, indexed=False)
+    indexed = run_openmpi(plan, indexed=True)
+    assert indexed == linear
+    # sanity: the workload actually exercised matching
+    assert linear["tag_scans"] > 0
+    assert len(linear["payloads"]) == 60
+
+
+@pytest.mark.parametrize("seed", [1, 4])
+def test_ampi_indexed_bit_identical_to_linear(seed):
+    plan = make_plan(seed, n_msgs=60)
+    linear = run_ampi(plan, indexed=True), run_ampi(plan, indexed=False)
+    indexed, linear = linear[0], linear[1]
+    assert indexed == linear
+    assert linear["ampi_scanned"] > 0
+    assert len(linear["payloads"]) == 60
+
+
+def test_wildcard_heavy_workload_identical():
+    """All-wildcard receives force the fallback list: the indexed queue is
+    pure overhead here, but semantics must still be identical."""
+    plan = make_plan(seed=9, n_msgs=40, device_fraction=0.0)
+    plan = [(i, s, d, t, sz, dev, True, True)
+            for (i, s, d, t, sz, dev, _ws, _wt) in plan]
+    linear = run_openmpi(plan, indexed=False)
+    indexed = run_openmpi(plan, indexed=True)
+    assert indexed == linear
