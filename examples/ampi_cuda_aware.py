@@ -12,9 +12,8 @@ Run:  python examples/ampi_cuda_aware.py
 
 import numpy as np
 
-from repro.ampi import Ampi
-from repro.charm import Charm
-from repro.config import summit
+import repro.api as api
+from repro.config import MachineConfig
 
 CELLS_PER_RANK = 1024
 ITERS = 5
@@ -72,13 +71,13 @@ def program(mpi):
 
 
 def main():
-    charm = Charm(summit(nodes=2))
-    ampi = Ampi(charm)
+    sess = api.session(MachineConfig.summit(nodes=2)).model("ampi").build()
+    ampi = sess.lib
     print(f"running {ampi.n_ranks} CUDA-aware AMPI ranks "
-          f"({charm.cfg.topology.nodes} nodes)")
-    done = ampi.launch(program)
-    charm.run_until(done, max_events=10_000_000)
-    print(f"finished at t={charm.time * 1e3:.3f} ms simulated")
+          f"({sess.config.topology.nodes} nodes)")
+    done = sess.launch(program)
+    sess.run_until(done, max_events=10_000_000)
+    print(f"finished at t={sess.now * 1e3:.3f} ms simulated")
 
 
 if __name__ == "__main__":

@@ -9,8 +9,9 @@ printed timings show why the paper bothered.
 Run:  python examples/charm4py_channels.py
 """
 
-from repro.charm4py import Charm4py, PyChare
-from repro.config import MB, summit
+import repro.api as api
+from repro.charm4py import PyChare
+from repro.config import MachineConfig, MB
 from repro.sim.primitives import SimEvent
 
 
@@ -62,7 +63,8 @@ class PingPong(PyChare):
 
 
 def run_once(gpu_direct: bool, size: int) -> float:
-    c4p = Charm4py(summit(nodes=1))
+    sess = api.session(MachineConfig.summit(nodes=1)).model("charm4py").build()
+    c4p = sess.lib
     done = SimEvent(c4p.sim)
     pair = c4p.create_array(PingPong, 2, size, 10, gpu_direct, done,
                             mapping=lambda i: i)

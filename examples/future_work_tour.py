@@ -15,20 +15,19 @@ Run:  python examples/future_work_tour.py
 
 import numpy as np
 
-from repro.ampi import Ampi
 from repro.bench.figures import (
     ablation_early_post,
     ablation_gpudirect,
     ablation_overdecomposition,
 )
-from repro.charm import Charm
-from repro.config import MB, summit
+import repro.api as api
+from repro.config import MachineConfig, MB
 
 
 def demo_device_allreduce():
     print("== 1. GPU-data allreduce over point-to-point ==")
-    charm = Charm(summit(nodes=2))
-    ampi = Ampi(charm)
+    sess = api.session(MachineConfig.summit(nodes=2)).model("ampi").build()
+    charm, ampi = sess.charm, sess.lib
     results = {}
 
     def program(mpi):

@@ -15,14 +15,14 @@ import numpy as np
 from repro.apps.jacobi3d import Decomposition, jacobi_reference_step, run_jacobi
 from repro.apps.jacobi3d.charm_impl import run_charm_jacobi
 from repro.apps.jacobi3d.common import initial_field
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 def verify_small_grid():
     """Functional check: the distributed sweep equals the serial one."""
     domain = (12, 12, 12)
     decomp = Decomposition.create(domain, 6)
-    col = run_charm_jacobi(summit(nodes=1), decomp, gpu_aware=True,
+    col = run_charm_jacobi(MachineConfig.summit(nodes=1), decomp, gpu_aware=True,
                            iters=3, warmup=0, functional=True)
     got = col.assemble(decomp)
 

@@ -10,8 +10,9 @@ method running once the GPU data has landed.
 Run:  python examples/quickstart.py
 """
 
-from repro.charm import Charm, Chare, CkDeviceBuffer
-from repro.config import summit
+import repro.api as api
+from repro.charm import Chare, CkDeviceBuffer
+from repro.config import MachineConfig
 
 
 class Receiver(Chare):
@@ -50,8 +51,10 @@ class Sender(Chare):
 def main():
     nbytes = 64 * 1024
 
-    # one PE per GPU on a 2-node simulated Summit (12 GPUs)
-    charm = Charm(summit(nodes=2))
+    # one PE per GPU on a 2-node simulated Summit (12 GPUs), built through
+    # the unified facade (repro.api works the same for all four models)
+    sess = api.session(MachineConfig.summit(nodes=2)).model("charm").build()
+    charm = sess.lib
     print(f"machine: {charm.cfg.topology.nodes} nodes, "
           f"{charm.cfg.topology.total_gpus} GPUs, {charm.n_pes} PEs")
 

@@ -3,8 +3,12 @@ UCX in Parallel Programming Models: Charm++, MPI, and Python" (IPDPSW'21).
 
 Public entry points:
 
+* :mod:`repro.api` — the unified facade: build machine + model + tracer with
+  ``api.session(config).model("ampi").trace().build()``;
 * :mod:`repro.config` — machine/protocol/runtime configuration
-  (:func:`repro.config.summit` builds the calibrated Summit model);
+  (:meth:`MachineConfig.summit` builds the calibrated Summit model);
+* :mod:`repro.obs` — observability: span trees, metrics registry,
+  Chrome-trace export;
 * :mod:`repro.charm` — the Charm++ programming model;
 * :mod:`repro.ampi` — Adaptive MPI on the Charm++ runtime;
 * :mod:`repro.openmpi` — the CUDA-aware OpenMPI baseline;
@@ -15,8 +19,18 @@ Public entry points:
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.config import MachineConfig, default_config, summit
 
-__all__ = ["MachineConfig", "__version__", "default_config", "summit"]
+__all__ = ["MachineConfig", "__version__", "api", "default_config", "obs", "summit"]
+
+
+def __getattr__(name):
+    # lazy submodule access (`repro.api` / `repro.obs` after `import repro`)
+    # without paying the model-graph import on package import
+    if name in ("api", "obs"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

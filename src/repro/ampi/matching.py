@@ -58,6 +58,8 @@ class PostedMpiRecv:
     buf: Buffer
     capacity: int  # bytes the caller allows
     event: SimEvent
+    # observability: the tracing span covering this receive, if any
+    span: Optional[object] = None
 
     def matches(self, env: AmpiEnvelope) -> bool:
         return (

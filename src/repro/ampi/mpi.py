@@ -39,6 +39,7 @@ from repro.converse.message import CmiMessage
 from repro.core.device_buffer import CkDeviceBuffer, DeviceRdmaOp, DeviceRecvType
 from repro.hardware.links import path_transfer
 from repro.hardware.memory import Buffer
+from repro.obs.tracing import NULL_SPAN
 from repro.sim.primitives import AllOf, SimEvent
 from repro.sim.process import Process
 
@@ -291,20 +292,34 @@ class AmpiRank:
         else:
             is_dev = False
 
+        tracer = ampi.machine.tracer
+        tracer.count("ampi", "send")
+        if tracer.enabled:
+            asp = tracer.span(
+                "ampi", "mpi_send",
+                rank=self.rank, dst=dst, tag=tag, size=nbytes, device=is_dev,
+            )
+            ev.add_callback(lambda _e, _sp=asp: _sp.end())
+        else:
+            asp = NULL_SPAN
+
         if buf is not None and is_dev:
             # Fig. 7: CkDeviceBuffer + callback; GPU data via LrtsSendDevice.
             def _notify_sender() -> None:
+                tracer.charge("ampi", rt.ampi_callback_overhead)
                 sim.schedule(rt.ampi_callback_overhead, ev.succeed, None)
 
             dev_meta = CkDeviceBuffer(ptr=buf, size=nbytes)
             env.dev_meta = dev_meta
 
             def _go_device() -> None:
-                ampi.charm.converse.cmi_send_device(
-                    self.pe, ampi.rank_pe(dst), dev_meta, on_complete=_notify_sender
-                )
-                ampi._send_envelope(self.pe, env, host_bytes=0)
+                with tracer.under(asp):
+                    ampi.charm.converse.cmi_send_device(
+                        self.pe, ampi.rank_pe(dst), dev_meta, on_complete=_notify_sender
+                    )
+                    ampi._send_envelope(self.pe, env, host_bytes=0)
 
+            tracer.charge("ampi", pre)
             sim.schedule(self._cpu_delay(pre), _go_device)
             return ev
 
@@ -329,10 +344,12 @@ class AmpiRank:
                 pre += self.ampi.machine.cfg.topology.host_mem.transfer_time(nbytes)
 
         def _go_host() -> None:
-            ampi._send_envelope(self.pe, env, host_bytes=host_bytes)
+            with tracer.under(asp):
+                ampi._send_envelope(self.pe, env, host_bytes=host_bytes)
             if complete_on_delivery:
                 ev.succeed(None)
 
+        tracer.charge("ampi", pre)
         sim.schedule(self._cpu_delay(pre), _go_host)
         return ev
 
@@ -349,10 +366,18 @@ class AmpiRank:
         sim = self.sim
         ev = SimEvent(sim, name=f"mpi.recv r{self.rank}")
         req = PostedMpiRecv(src=src, tag=tag, comm=comm, buf=buf, capacity=capacity, event=ev)
+        tracer = ampi.machine.tracer
+        tracer.count("ampi", "recv")
+        tracer.charge("ampi", rt.ampi_recv_overhead)
+        if tracer.enabled:
+            rsp = tracer.span("ampi", "mpi_recv", rank=self.rank, src=src, tag=tag)
+            req.span = rsp
+            ev.add_callback(lambda _e, _sp=rsp: _sp.end())
 
         def _post() -> None:
             env, scanned = self.matching.match_recv(req)
             if env is not None:
+                tracer.charge("ampi", rt.ampi_match_cost * scanned)
                 delay = rt.ampi_match_cost * scanned
                 sim.schedule(delay, ampi._complete_recv, self, env, req)
 
@@ -428,6 +453,7 @@ class Ampi:
         rank = self.ranks[env.dst]
         req, scanned = rank.matching.match_envelope(env)
         pe.charge(self.rt.ampi_match_cost * scanned)
+        self.machine.tracer.charge("ampi", self.rt.ampi_match_cost * scanned)
         if req is not None:
             self._complete_recv(rank, env, req)
 
@@ -435,6 +461,7 @@ class Ampi:
         send_id = msg.payload
         ev = self.pending_host_sends.pop(send_id)
         pe.charge(self.rt.ampi_callback_overhead)
+        self.machine.tracer.charge("ampi", self.rt.ampi_callback_overhead)
         ev.succeed(None)
 
     # -- receive completion --------------------------------------------------------------
@@ -460,7 +487,10 @@ class Ampi:
                 ))
                 return
 
+            tracer = self.machine.tracer
+
             def _done(_op: DeviceRdmaOp) -> None:
+                tracer.charge("ampi", rt.ampi_callback_overhead)
                 sim.schedule(rt.ampi_callback_overhead, req.event.succeed, status)
 
             op = DeviceRdmaOp(
@@ -470,7 +500,8 @@ class Ampi:
                 recv_type=DeviceRecvType.AMPI,
                 on_complete=_done,
             )
-            self.charm.converse.cmi_recv_device(rank.pe, op)
+            with tracer.under(req.span):
+                self.charm.converse.cmi_recv_device(rank.pe, op)
             return
 
         if req.buf is not None and req.buf.on_device and env.size > 0:

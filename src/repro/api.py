@@ -1,0 +1,203 @@
+"""Unified public facade: build machine + model + tracer in one place.
+
+Before this module, every consumer used a different incantation per model::
+
+    charm = Charm(cfg)                    # Charm++
+    lib = Ampi(Charm(cfg))                # AMPI
+    lib = OpenMpi(cfg)                    # OpenMPI
+    lib = Charm4py(cfg)                   # Charm4py
+
+Now there is one documented entry point::
+
+    import repro.api as api
+
+    sess = (api.session(MachineConfig.summit(nodes=2))
+               .model("ampi")
+               .trace()          # enable span-tree tracing
+               .build())
+    done = sess.launch(program)
+    sess.run_until(done)
+    sess.export_chrome_trace("timeline.json")   # open in ui.perfetto.dev
+    snap = sess.metrics_snapshot()              # counters/histograms/times
+
+The session exposes the underlying model object (``sess.lib``) unchanged, so
+every existing program body (``lib.launch``, rank generators, proxies) works
+as before — the facade standardises *construction and observation*, not the
+programming models themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.config import MachineConfig
+from repro.obs import chrome_trace, export_chrome_trace, metrics_snapshot
+
+__all__ = ["MODELS", "Session", "SessionBuilder", "session", "build"]
+
+#: Model names accepted by :meth:`SessionBuilder.model`.
+MODELS = ("charm", "ampi", "openmpi", "charm4py")
+
+
+class Session:
+    """One built simulation: machine + model frontend + tracer."""
+
+    def __init__(self, config: MachineConfig, model: str, lib, charm, machine) -> None:
+        self.config = config
+        self.model = model
+        #: the model frontend object (Charm / Ampi / OpenMpi / Charm4py)
+        self.lib = lib
+        #: the underlying Charm runtime, if the model runs on one (else None)
+        self.charm = charm
+        self.machine = machine
+
+    # -- simulation handles -----------------------------------------------------
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def now(self) -> float:
+        return self.machine.sim.now
+
+    @property
+    def tracer(self):
+        return self.machine.tracer
+
+    @property
+    def counters(self):
+        return self.machine.tracer.counters
+
+    # -- running workloads -------------------------------------------------------
+    def launch(self, program, *args):
+        """Start ``program`` on the model frontend (same semantics as the
+        frontend's own ``launch``)."""
+        return self.lib.launch(program, *args)
+
+    def run_until(self, event, max_events: Optional[int] = None):
+        return self.machine.sim.run_until_complete(event, max_events=max_events)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.machine.sim.run(until=until, max_events=max_events)
+
+    # -- observability -------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict:
+        """Plain-dict metrics snapshot (``counters`` / ``gauges`` /
+        ``histograms`` / ``time_by_category``)."""
+        return metrics_snapshot(self.machine.tracer)
+
+    def chrome_trace(self) -> Dict:
+        """The traced span tree as a Chrome trace-event JSON dict."""
+        return chrome_trace(self.machine.tracer, process_name=f"repro-{self.model}")
+
+    def export_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome-trace JSON timeline to ``path``."""
+        return export_chrome_trace(
+            self.machine.tracer, path, process_name=f"repro-{self.model}"
+        )
+
+
+class SessionBuilder:
+    """Fluent builder: ``api.session(cfg).model("ampi").trace().build()``."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self._config = config
+        self._model = "charm"
+        self._nodes: Optional[int] = None
+        self._trace: Optional[bool] = None
+        self._gdrcopy: Optional[bool] = None
+        self._n_ranks: Optional[int] = None
+        self._ranks_per_pe: int = 1
+        self._n_pes: Optional[int] = None
+
+    def model(self, name: str) -> "SessionBuilder":
+        if name not in MODELS:
+            raise ValueError(f"unknown model {name!r}; choose from {MODELS}")
+        self._model = name
+        return self
+
+    def nodes(self, nodes: int) -> "SessionBuilder":
+        self._nodes = nodes
+        return self
+
+    def trace(self, enabled: bool = True) -> "SessionBuilder":
+        self._trace = enabled
+        return self
+
+    def gdrcopy(self, enabled: bool) -> "SessionBuilder":
+        self._gdrcopy = enabled
+        return self
+
+    def ranks(self, n_ranks: Optional[int] = None, ranks_per_pe: int = 1) -> "SessionBuilder":
+        """MPI-model rank layout (AMPI virtualisation via ``ranks_per_pe``)."""
+        self._n_ranks = n_ranks
+        self._ranks_per_pe = ranks_per_pe
+        return self
+
+    def pes(self, n_pes: Optional[int]) -> "SessionBuilder":
+        self._n_pes = n_pes
+        return self
+
+    def build(self) -> Session:
+        # imports deferred: the facade must stay importable without pulling
+        # the whole model graph until a session is actually built
+        from repro.ampi import Ampi
+        from repro.charm import Charm
+        from repro.charm4py import Charm4py
+        from repro.openmpi import OpenMpi
+
+        cfg = self._config if self._config is not None else MachineConfig.default()
+        if self._nodes is not None:
+            cfg = cfg.with_nodes(self._nodes)
+        if self._gdrcopy is False:
+            cfg = cfg.without_gdrcopy()
+        if self._trace is not None:
+            cfg = cfg.with_trace(self._trace)
+
+        name = self._model
+        charm = None
+        if name == "charm":
+            lib = charm = Charm(cfg, n_pes=self._n_pes)
+            machine = charm.machine
+        elif name == "ampi":
+            charm = Charm(cfg, n_pes=self._n_pes)
+            lib = Ampi(charm, n_ranks=self._n_ranks, ranks_per_pe=self._ranks_per_pe)
+            machine = charm.machine
+        elif name == "openmpi":
+            lib = OpenMpi(cfg, n_ranks=self._n_ranks)
+            machine = lib.machine
+        else:  # charm4py
+            lib = Charm4py(cfg)
+            charm = lib.charm
+            machine = charm.machine
+        return Session(cfg, name, lib, charm, machine)
+
+
+def session(config: Optional[MachineConfig] = None) -> SessionBuilder:
+    """Start building a session: ``api.session(cfg).model("ampi").build()``."""
+    return SessionBuilder(config)
+
+
+def build(
+    config: Optional[MachineConfig] = None, model: str = "charm", **kwargs
+) -> Session:
+    """One-shot convenience: ``api.build(cfg, "openmpi", n_ranks=2)``.
+
+    Keyword arguments map to the builder methods: ``nodes``, ``trace``,
+    ``gdrcopy``, ``n_ranks``, ``ranks_per_pe``, ``n_pes``.
+    """
+    b = session(config).model(model)
+    if "nodes" in kwargs:
+        b.nodes(kwargs.pop("nodes"))
+    if "trace" in kwargs:
+        b.trace(kwargs.pop("trace"))
+    if "gdrcopy" in kwargs:
+        b.gdrcopy(kwargs.pop("gdrcopy"))
+    if "n_ranks" in kwargs or "ranks_per_pe" in kwargs:
+        b.ranks(kwargs.pop("n_ranks", None), kwargs.pop("ranks_per_pe", 1))
+    if "n_pes" in kwargs:
+        b.pes(kwargs.pop("n_pes"))
+    if kwargs:
+        raise TypeError(f"unknown session option(s): {sorted(kwargs)}")
+    return b.build()

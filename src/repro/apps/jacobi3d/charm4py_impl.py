@@ -7,9 +7,10 @@ device buffers, or host staging with explicit CUDA copies.
 
 from __future__ import annotations
 
+import repro.api as api
 from repro.apps.jacobi3d.common import BlockState, BlockTimings, ResultCollector
 from repro.apps.jacobi3d.decomposition import Decomposition
-from repro.charm4py import Charm4py, PyChare
+from repro.charm4py import PyChare
 
 
 class JacobiBlockPy(PyChare):
@@ -59,8 +60,9 @@ class JacobiBlockPy(PyChare):
 
 def run_charm4py_jacobi(config, decomp: Decomposition, gpu_aware: bool,
                         iters: int = 5, warmup: int = 1,
-                        functional: bool = False) -> ResultCollector:
-    c4p = Charm4py(config)
+                        functional: bool = False, session=None) -> ResultCollector:
+    sess = session if session is not None else api.session(config).model("charm4py").build()
+    c4p = sess.lib
     n = decomp.n_blocks
     if n != c4p.charm.n_pes:
         raise ValueError(f"{n} blocks but {c4p.charm.n_pes} PEs")

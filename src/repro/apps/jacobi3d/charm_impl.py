@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import repro.api as api
 from repro.apps.jacobi3d.common import BlockState, BlockTimings, ResultCollector
 from repro.apps.jacobi3d.decomposition import Decomposition, opposite
-from repro.charm import Charm, Chare, CkDeviceBuffer
+from repro.charm import Chare, CkDeviceBuffer
 from repro.sim.primitives import SimEvent
 
 
@@ -141,8 +142,10 @@ def run_charm_jacobi(
     mapping=None,
     check_interval: int = 0,
     tolerance: float = 0.0,
+    session=None,
 ) -> ResultCollector:
-    charm = Charm(config)
+    sess = session if session is not None else api.session(config).model("charm").build()
+    charm = sess.lib
     n = decomp.n_blocks
     if n != charm.n_pes * blocks_per_pe:
         raise ValueError(

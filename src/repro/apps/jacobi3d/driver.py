@@ -10,7 +10,7 @@ from repro.apps.jacobi3d.charm_impl import run_charm_jacobi
 from repro.apps.jacobi3d.charm4py_impl import run_charm4py_jacobi
 from repro.apps.jacobi3d.decomposition import Decomposition, weak_scaling_domain
 from repro.apps.jacobi3d.mpi_impl import run_ampi_jacobi, run_openmpi_jacobi
-from repro.config import MachineConfig, summit
+from repro.config import MachineConfig
 
 #: paper §IV-C: weak-scaling base domain edge (1536³ doubles), strong 3072³
 WEAK_BASE = 1536
@@ -45,6 +45,7 @@ def run_jacobi(
     domain: Optional[Tuple[int, int, int]] = None,
     functional: bool = False,
     base: int = WEAK_BASE,
+    session=None,
     **runner_kwargs,
 ) -> JacobiResult:
     """Run one Jacobi3D configuration and return per-iteration timings.
@@ -52,10 +53,15 @@ def run_jacobi(
     ``scaling='weak'`` grows the domain from ``base``³ with the node count
     (paper Fig. 14-16 a/b); ``scaling='strong'`` fixes 3072³ (c/d).  An
     explicit ``domain`` overrides both (used by the functional tests).
+    Pass a pre-built :class:`repro.api.Session` (e.g. with tracing enabled)
+    via ``session`` to run on it instead of constructing a fresh machine.
     """
     if model not in _RUNNERS:
         raise ValueError(f"unknown model {model!r}; pick from {sorted(_RUNNERS)}")
-    cfg = config if config is not None else summit(nodes=nodes)
+    if session is not None:
+        cfg = session.config
+    else:
+        cfg = config if config is not None else MachineConfig.summit(nodes=nodes)
     if domain is None:
         domain = (
             weak_scaling_domain(base, nodes) if scaling == "weak" else STRONG_DOMAIN
@@ -80,7 +86,7 @@ def run_jacobi(
         decomp = Decomposition.create(domain, p)
     collector = _RUNNERS[model](
         cfg, decomp, gpu_aware, iters=iters, warmup=warmup,
-        functional=functional, **runner_kwargs,
+        functional=functional, session=session, **runner_kwargs,
     )
     return JacobiResult(
         model=model,
@@ -99,17 +105,29 @@ def main(argv=None) -> None:
     parser.add_argument("--scaling", choices=["weak", "strong"], default="weak")
     parser.add_argument("--host-staging", action="store_true")
     parser.add_argument("--iters", type=int, default=4)
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome-trace timeline of the run "
+                             "(open in ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
+    sess = None
+    if args.trace_out:
+        import repro.api as api
+
+        cfg = MachineConfig.summit(nodes=args.nodes).with_trace(True)
+        sess = api.session(cfg).model(args.model).build()
     result = run_jacobi(
         args.model, nodes=args.nodes, scaling=args.scaling,
-        gpu_aware=not args.host_staging, iters=args.iters,
+        gpu_aware=not args.host_staging, iters=args.iters, session=sess,
     )
     variant = "H" if args.host_staging else "D"
     print(f"# Jacobi3D {args.model}-{variant}, {args.nodes} nodes, "
           f"{args.scaling} scaling, domain {result.domain}")
     print(f"overall time per iteration: {result.iter_time * 1e3:9.3f} ms")
     print(f"comm    time per iteration: {result.comm_time * 1e3:9.3f} ms")
+    if sess is not None:
+        path = sess.export_chrome_trace(args.trace_out)
+        print(f"# trace written to {path}")
 
 
 if __name__ == "__main__":

@@ -8,11 +8,9 @@ staging adds the explicit ``cudaMemcpy`` ladder.
 
 from __future__ import annotations
 
-from repro.ampi import Ampi
+import repro.api as api
 from repro.apps.jacobi3d.common import BlockState, BlockTimings, ResultCollector, halo_tag
 from repro.apps.jacobi3d.decomposition import DIRS, Decomposition, opposite
-from repro.charm import Charm
-from repro.openmpi import OpenMpi
 
 
 def jacobi_mpi_program(mpi, decomp: Decomposition, gpu_aware: bool, iters: int,
@@ -67,27 +65,28 @@ def jacobi_mpi_program(mpi, decomp: Decomposition, gpu_aware: bool, iters: int,
 
 
 def run_ampi_jacobi(config, decomp: Decomposition, gpu_aware: bool, iters: int = 5,
-                    warmup: int = 1, functional: bool = False) -> ResultCollector:
-    charm = Charm(config)
-    ampi = Ampi(charm)
-    if decomp.n_blocks != ampi.n_ranks:
-        raise ValueError(f"{decomp.n_blocks} blocks but {ampi.n_ranks} ranks")
-    collector = ResultCollector(charm.sim, decomp.n_blocks, warmup)
-    done = ampi.launch(
+                    warmup: int = 1, functional: bool = False,
+                    session=None) -> ResultCollector:
+    sess = session if session is not None else api.session(config).model("ampi").build()
+    if decomp.n_blocks != sess.lib.n_ranks:
+        raise ValueError(f"{decomp.n_blocks} blocks but {sess.lib.n_ranks} ranks")
+    collector = ResultCollector(sess.sim, decomp.n_blocks, warmup)
+    done = sess.launch(
         jacobi_mpi_program, decomp, gpu_aware, iters, warmup, functional, collector
     )
-    charm.run_until(done, max_events=200_000_000)
+    sess.run_until(done, max_events=200_000_000)
     return collector
 
 
 def run_openmpi_jacobi(config, decomp: Decomposition, gpu_aware: bool, iters: int = 5,
-                       warmup: int = 1, functional: bool = False) -> ResultCollector:
-    lib = OpenMpi(config)
-    if decomp.n_blocks != lib.n_ranks:
-        raise ValueError(f"{decomp.n_blocks} blocks but {lib.n_ranks} ranks")
-    collector = ResultCollector(lib.machine.sim, decomp.n_blocks, warmup)
-    done = lib.launch(
+                       warmup: int = 1, functional: bool = False,
+                       session=None) -> ResultCollector:
+    sess = session if session is not None else api.session(config).model("openmpi").build()
+    if decomp.n_blocks != sess.lib.n_ranks:
+        raise ValueError(f"{decomp.n_blocks} blocks but {sess.lib.n_ranks} ranks")
+    collector = ResultCollector(sess.sim, decomp.n_blocks, warmup)
+    done = sess.launch(
         jacobi_mpi_program, decomp, gpu_aware, iters, warmup, functional, collector
     )
-    lib.run_until(done, max_events=200_000_000)
+    sess.run_until(done, max_events=200_000_000)
     return collector

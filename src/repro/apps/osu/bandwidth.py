@@ -8,13 +8,12 @@ The ``-H`` variant pays a ``cudaMemcpy``+sync per message on each side.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.ampi import Ampi
-from repro.charm import Charm, Chare, CkDeviceBuffer
-from repro.charm4py import Charm4py, PyChare
+import repro.api as api
+from repro.charm import Chare, CkDeviceBuffer
+from repro.charm4py import PyChare
 from repro.config import MachineConfig
-from repro.openmpi import OpenMpi
 from repro.sim.primitives import SimEvent
 
 WINDOW = 64
@@ -93,8 +92,10 @@ class _CharmBwReceiver(Chare):
 def charm_bandwidth(
     config: MachineConfig, size: int, gpus: Tuple[int, int], gpu_aware: bool,
     loops: int, skip: int, window: int = WINDOW,
+    session: Optional[api.Session] = None,
 ) -> float:
-    charm = Charm(config)
+    sess = session if session is not None else api.session(config).model("charm").build()
+    charm = sess.lib
     done = SimEvent(charm.sim, name="bw.done")
     ga, gb = gpus
     sender = charm.create_chare(_CharmBwSender, ga, size, gpu_aware, loops, skip, window, done)
@@ -151,20 +152,19 @@ def _mpi_bw_program(mpi, peers, size, gpu_aware, loops, skip, window, out):
         out["bw"] = loops * window * size / (mpi.sim.now - t0)
 
 
-def ampi_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW) -> float:
-    charm = Charm(config)
-    ampi = Ampi(charm)
+def ampi_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("ampi").build()
     out: dict = {}
-    done = ampi.launch(_mpi_bw_program, list(gpus), size, gpu_aware, loops, skip, window, out)
-    charm.run_until(done, max_events=20_000_000)
+    done = sess.launch(_mpi_bw_program, list(gpus), size, gpu_aware, loops, skip, window, out)
+    sess.run_until(done, max_events=20_000_000)
     return out["bw"]
 
 
-def openmpi_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW) -> float:
-    lib = OpenMpi(config)
+def openmpi_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("openmpi").build()
     out: dict = {}
-    done = lib.launch(_mpi_bw_program, list(gpus), size, gpu_aware, loops, skip, window, out)
-    lib.run_until(done, max_events=20_000_000)
+    done = sess.launch(_mpi_bw_program, list(gpus), size, gpu_aware, loops, skip, window, out)
+    sess.run_until(done, max_events=20_000_000)
     return out["bw"]
 
 
@@ -219,8 +219,9 @@ class _C4pBandwidth(PyChare):
             self.done.succeed(self.loops * self.window * size / (c4p.sim.now - t0))
 
 
-def charm4py_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW) -> float:
-    c4p = Charm4py(config)
+def charm4py_bandwidth(config, size, gpus, gpu_aware, loops, skip, window=WINDOW, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("charm4py").build()
+    c4p = sess.lib
     done = SimEvent(c4p.sim, name="bw.done")
     ga, gb = gpus
     arr = c4p.create_array(

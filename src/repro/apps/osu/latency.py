@@ -10,13 +10,12 @@ upper branch), the cost the paper quantifies.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
-from repro.ampi import Ampi
-from repro.charm import Charm, Chare, CkDeviceBuffer
-from repro.charm4py import Charm4py, PyChare
+import repro.api as api
+from repro.charm import Chare, CkDeviceBuffer
+from repro.charm4py import PyChare
 from repro.config import MachineConfig
-from repro.openmpi import OpenMpi
 from repro.sim.primitives import SimEvent
 
 
@@ -91,9 +90,10 @@ class _CharmLatency(Chare):
 
 def charm_latency(
     config: MachineConfig, size: int, gpus: Tuple[int, int], gpu_aware: bool,
-    iters: int, skip: int,
+    iters: int, skip: int, session: Optional[api.Session] = None,
 ) -> float:
-    charm = Charm(config)
+    sess = session if session is not None else api.session(config).model("charm").build()
+    charm = sess.lib
     done = SimEvent(charm.sim, name="latency.done")
     ga, gb = gpus
     arr = charm.create_array(
@@ -150,20 +150,19 @@ def _mpi_latency_program(mpi, peers, size, gpu_aware, iters, skip, out):
         out["latency"] = (mpi.sim.now - t0) / (2 * iters)
 
 
-def ampi_latency(config, size, gpus, gpu_aware, iters, skip) -> float:
-    charm = Charm(config)
-    ampi = Ampi(charm)
+def ampi_latency(config, size, gpus, gpu_aware, iters, skip, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("ampi").build()
     out: dict = {}
-    done = ampi.launch(_mpi_latency_program, list(gpus), size, gpu_aware, iters, skip, out)
-    charm.run_until(done, max_events=5_000_000)
+    done = sess.launch(_mpi_latency_program, list(gpus), size, gpu_aware, iters, skip, out)
+    sess.run_until(done, max_events=5_000_000)
     return out["latency"]
 
 
-def openmpi_latency(config, size, gpus, gpu_aware, iters, skip) -> float:
-    lib = OpenMpi(config)
+def openmpi_latency(config, size, gpus, gpu_aware, iters, skip, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("openmpi").build()
     out: dict = {}
-    done = lib.launch(_mpi_latency_program, list(gpus), size, gpu_aware, iters, skip, out)
-    lib.run_until(done, max_events=5_000_000)
+    done = sess.launch(_mpi_latency_program, list(gpus), size, gpu_aware, iters, skip, out)
+    sess.run_until(done, max_events=5_000_000)
     return out["latency"]
 
 
@@ -226,8 +225,9 @@ class _C4pLatency(PyChare):
             self.done.succeed((c4p.sim.now - t0) / (2 * self.iters))
 
 
-def charm4py_latency(config, size, gpus, gpu_aware, iters, skip) -> float:
-    c4p = Charm4py(config)
+def charm4py_latency(config, size, gpus, gpu_aware, iters, skip, session=None) -> float:
+    sess = session if session is not None else api.session(config).model("charm4py").build()
+    c4p = sess.lib
     done = SimEvent(c4p.sim, name="latency.done")
     ga, gb = gpus
     arr = c4p.create_array(

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.config import MachineConfig, summit
+from repro.config import MachineConfig
 from repro.openmpi import OpenMpi
 
 
@@ -59,7 +59,7 @@ def run_multi_pair_bandwidth(
 
     Returns ``{"per_pair": {rank: B/s}, "aggregate": B/s}``.
     """
-    cfg = config if config is not None else summit(nodes=2)
+    cfg = config if config is not None else MachineConfig.summit(nodes=2)
     gpn = cfg.topology.gpus_per_node
     n_pairs = pairs if pairs is not None else gpn
     if not 1 <= n_pairs <= gpn:

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.osu import bandwidth as bw_mod
 from repro.apps.osu import latency as lat_mod
-from repro.config import KB, MB, MachineConfig, summit
+from repro.config import KB, MachineConfig, MB
 
 #: The OSU message-size ladder used in the paper's figures: 1 B to 4 MB.
 OSU_SIZES: List[int] = [1 << i for i in range(23)]  # 1 ... 4 MiB
@@ -47,13 +47,19 @@ def run_latency(
     config: Optional[MachineConfig] = None,
     iters: int = 20,
     skip: int = 4,
+    session=None,
 ) -> float:
-    """One latency point; returns one-way latency in seconds."""
+    """One latency point; returns one-way latency in seconds.
+
+    Pass a pre-built :class:`repro.api.Session` (e.g. with tracing enabled)
+    to run on it instead of constructing a fresh machine."""
     if model not in _LATENCY_FNS:
         raise ValueError(f"unknown model {model!r}; pick from {MODELS}")
-    cfg = config if config is not None else summit(nodes=2)
+    cfg = session.config if session is not None else (
+        config if config is not None else MachineConfig.summit(nodes=2)
+    )
     gpus = intra_node_pair(cfg) if placement == "intra" else inter_node_pair(cfg)
-    return _LATENCY_FNS[model](cfg, size, gpus, gpu_aware, iters, skip)
+    return _LATENCY_FNS[model](cfg, size, gpus, gpu_aware, iters, skip, session=session)
 
 
 def run_bandwidth(
@@ -65,13 +71,16 @@ def run_bandwidth(
     loops: int = 4,
     skip: int = 1,
     window: int = bw_mod.WINDOW,
+    session=None,
 ) -> float:
     """One bandwidth point; returns bytes/second."""
     if model not in _BANDWIDTH_FNS:
         raise ValueError(f"unknown model {model!r}; pick from {MODELS}")
-    cfg = config if config is not None else summit(nodes=2)
+    cfg = session.config if session is not None else (
+        config if config is not None else MachineConfig.summit(nodes=2)
+    )
     gpus = intra_node_pair(cfg) if placement == "intra" else inter_node_pair(cfg)
-    return _BANDWIDTH_FNS[model](cfg, size, gpus, gpu_aware, loops, skip, window)
+    return _BANDWIDTH_FNS[model](cfg, size, gpus, gpu_aware, loops, skip, window, session=session)
 
 
 def run_latency_sweep(
@@ -121,6 +130,9 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--host-staging", action="store_true",
                         help="run the -H variant instead of GPU-aware -D")
     parser.add_argument("--max-size", type=int, default=4 * MB)
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome-trace timeline (open in "
+                             "ui.perfetto.dev) of the largest-size run")
     args = parser.parse_args(argv)
 
     sizes = [s for s in OSU_SIZES if s <= args.max_size]
@@ -142,6 +154,20 @@ def main(argv: Optional[List[str]] = None) -> None:
         print(f"{'size':>8}  {'bandwidth (MB/s)':>16}")
         for s, v in series.items():
             print(f"{_fmt_size(s):>8}  {v / 1e6:16.2f}")
+
+    if args.trace_out:
+        import repro.api as api
+
+        cfg = MachineConfig.summit(nodes=2).with_trace(True)
+        sess = api.session(cfg).model(args.model).build()
+        if args.benchmark == "latency":
+            run_latency(args.model, sizes[-1], args.placement,
+                        not args.host_staging, session=sess)
+        else:
+            run_bandwidth(args.model, sizes[-1], args.placement,
+                          not args.host_staging, session=sess)
+        path = sess.export_chrome_trace(args.trace_out)
+        print(f"# trace ({_fmt_size(sizes[-1])} run) written to {path}")
 
 
 if __name__ == "__main__":

@@ -33,7 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List
 
-from repro.config import MB, summit
+from repro.config import MachineConfig, MB
 
 
 @dataclass(frozen=True)
@@ -50,7 +50,7 @@ class Anchor:
 def _anchors() -> List[Anchor]:
     from repro.apps.osu import run_bandwidth, run_latency
 
-    cfg = summit(nodes=2)
+    cfg = MachineConfig.summit(nodes=2)
 
     def bw(model, placement):
         return lambda: run_bandwidth(model, 4 * MB, placement, True, cfg) / 1e9

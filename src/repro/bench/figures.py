@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.apps.jacobi3d.driver import run_jacobi
 from repro.apps.osu.runner import OSU_SIZES, run_bandwidth_sweep, run_latency_sweep
 from repro.bench.reporting import Series, improvement_range, print_series, print_table
-from repro.config import KB, MB, MachineConfig, summit
+from repro.config import KB, MachineConfig, MB
 
 #: default node ladder for the Jacobi scaling figures
 WEAK_NODES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -215,19 +215,24 @@ def fig16(nodes: Sequence[int] = WEAK_NODES, strong_nodes: Sequence[int] = STRON
 # Secondary results and ablations
 # ---------------------------------------------------------------------------
 
-def ampi_overhead_anatomy(size: int = 8, quiet: bool = False) -> Dict[str, float]:
+def ampi_overhead_anatomy(size: int = 8, quiet: bool = False) -> Dict[str, object]:
     """§IV-B1: how much of AMPI's device latency is outside UCX.
 
     The paper disables the ``CmiSend/RecvDevice`` calls and invokes the
     receive handlers directly, finding ~8 us outside UCX and <2 us inside.
-    Here the raw UCX transfer time is measured directly on a pair of
-    workers, and compared against AMPI's and OpenMPI's end-to-end latency.
+    Here the decomposition comes from the observability layer: the AMPI
+    latency run executes on a traced :mod:`repro.api` session, and the
+    metrics snapshot's ``time_by_category`` attributes per-layer CPU time
+    (``ampi`` / ``machine`` / ``ucx``) to each device message.  The raw
+    UCX transfer time is additionally measured directly on a pair of
+    workers as an end-to-end cross-check.
     """
+    import repro.api as api
     from repro.apps.osu.runner import run_latency
     from repro.hardware.topology import Machine
     from repro.ucx.context import UcpContext
 
-    cfg = summit(nodes=2)
+    cfg = MachineConfig.summit(nodes=2)
     # raw UCX: pre-posted receive, device eager path
     m = Machine(cfg)
     ctx = UcpContext(m)
@@ -241,18 +246,32 @@ def ampi_overhead_anatomy(size: int = 8, quiet: bool = False) -> Dict[str, float
     m.sim.run_until_complete(req.event)
     ucx_time = m.sim.now - t0
 
-    ampi_lat = run_latency("ampi", size, "intra", True, cfg)
+    sess = api.session(cfg.with_trace(True)).model("ampi").build()
+    ampi_lat = run_latency("ampi", size, "intra", True, session=sess)
+    snap = sess.metrics_snapshot()
+    n_msgs = snap["counters"]["converse.send_device"]
+    # per-device-message CPU time by layer, both endpoints summed
+    layers_us = {
+        cat: t / n_msgs * 1e6 for cat, t in sorted(snap["time_by_category"].items())
+    }
+    outside_us = sum(v for k, v in layers_us.items() if not k.startswith("ucx"))
+
     ompi_lat = run_latency("openmpi", size, "intra", True, cfg)
-    result = {
+    result: Dict[str, object] = {
         "ucx_us": ucx_time * 1e6,
         "ampi_us": ampi_lat * 1e6,
         "openmpi_us": ompi_lat * 1e6,
-        "ampi_outside_ucx_us": (ampi_lat - ucx_time) * 1e6,
+        "ampi_outside_ucx_us": outside_us,
+        "layers_us": layers_us,
+        "n_device_msgs": n_msgs,
     }
     if not quiet:
         print("# SIV-B1: AMPI overhead anatomy (8 B device message, intra-node)")
         for k, v in result.items():
-            print(f"{k:>24}: {v:8.2f}")
+            if isinstance(v, float):
+                print(f"{k:>24}: {v:8.2f}")
+        for k, v in layers_us.items():
+            print(f"{'layer ' + k:>24}: {v:8.2f}")
         print()
     return result
 
@@ -262,8 +281,8 @@ def ablation_gdrcopy(sizes: Sequence[int] = EAGER_SIZES, quiet: bool = False) ->
     small-message latency."""
     from repro.apps.osu.runner import run_latency_sweep
 
-    on = run_latency_sweep("charm", "intra", True, sizes, summit(nodes=2))
-    off = run_latency_sweep("charm", "intra", True, sizes, summit(nodes=2).without_gdrcopy())
+    on = run_latency_sweep("charm", "intra", True, sizes, MachineConfig.summit(nodes=2))
+    off = run_latency_sweep("charm", "intra", True, sizes, MachineConfig.summit(nodes=2).without_gdrcopy())
     s_on = Series("gdrcopy-on", [(k, v * 1e6) for k, v in on.items()])
     s_off = Series("gdrcopy-off", [(k, v * 1e6) for k, v in off.items()])
     if not quiet:
@@ -286,7 +305,7 @@ def ablation_early_post(size: int = 1 * MB, quiet: bool = False) -> Dict[str, fl
     from repro.ucx.context import UcpContext
 
     def run(pre_post: bool) -> float:
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         rt = cfg.runtime
         m = Machine(cfg)
         ctx = UcpContext(m)
@@ -341,7 +360,7 @@ def ablation_rndv_threshold(
 
     out: Dict[int, Series] = {}
     for th in thresholds:
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         cfg = replace(cfg, ucx=replace(cfg.ucx, device_eager_threshold=th))
         sweep = run_latency_sweep("charm", "intra", True, sizes, cfg)
         out[th] = Series(f"thresh={th//KB}K", [(k, v * 1e6) for k, v in sweep.items()])
@@ -361,7 +380,7 @@ def ablation_pipeline_chunk(
 
     out = {}
     for chunk in chunks:
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         cfg = replace(cfg, ucx=replace(cfg.ucx, pipeline_chunk=chunk))
         out[chunk] = run_bandwidth("charm", size, "inter", True, cfg) / 1e9
     if not quiet:
@@ -376,8 +395,8 @@ def ablation_gpudirect(size: int = 4 * MB, quiet: bool = False) -> Dict[str, flo
     """Pipelined host staging vs a GPUDirect-RDMA-capable fabric."""
     from repro.apps.osu.runner import run_latency
 
-    staged = run_latency("charm", size, "inter", True, summit(nodes=2))
-    cfg = summit(nodes=2)
+    staged = run_latency("charm", size, "inter", True, MachineConfig.summit(nodes=2))
+    cfg = MachineConfig.summit(nodes=2)
     cfg = replace(cfg, ucx=replace(cfg.ucx, gpudirect_rdma=True))
     gdr = run_latency("charm", size, "inter", True, cfg)
     result = {"pipelined_us": staged * 1e6, "gpudirect_us": gdr * 1e6}
@@ -418,7 +437,7 @@ def ablation_ampi_dip(quiet: bool = False) -> Dict[str, Series]:
     from dataclasses import replace as _r
 
     sizes = [32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB]
-    on_cfg = summit(nodes=2)
+    on_cfg = MachineConfig.summit(nodes=2)
     off_cfg = _r(on_cfg, runtime=_r(on_cfg.runtime, model_ampi_128k_dip=False))
     on = run_bandwidth_sweep("ampi", "intra", False, sizes, on_cfg)
     off = run_bandwidth_sweep("ampi", "intra", False, sizes, off_cfg)

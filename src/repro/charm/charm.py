@@ -12,7 +12,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.config import MachineConfig, default_config
+from repro.config import MachineConfig
 from repro.converse.cmi import Converse
 from repro.converse.message import CmiMessage
 from repro.converse.pe import Pe
@@ -63,7 +63,7 @@ class Charm:
         config: Optional[MachineConfig] = None,
         n_pes: Optional[int] = None,
     ) -> None:
-        self.cfg = config if config is not None else default_config()
+        self.cfg = config if config is not None else MachineConfig.default()
         self.machine = Machine(self.cfg)
         topo = self.cfg.topology
         if n_pes is None:

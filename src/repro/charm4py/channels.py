@@ -94,11 +94,20 @@ class Channel:
                 raise ValueError(f"send of {size} B from {buf.size} B buffer")
             cost = c4p.cython.call_cost() + c4p.cython.device_send_cost()
             dev_meta = CkDeviceBuffer(ptr=buf, size=size)
+            tracer = self.charm.machine.tracer
+            tracer.count("charm4py", "channel_send_device")
+            tracer.charge("charm4py", cost)
+            sp = tracer.span(
+                "charm4py", "channel_send",
+                src_pe=src_pe, dst_pe=dst_pe, size=size, device=True,
+            )
 
             def _go() -> None:
-                self.charm.converse.cmi_send_device(src_pe, dst_pe, dev_meta)
-                pkt = _Packet(kind="dev", dev_meta=dev_meta)
-                self._post_packet(src_pe, dst_pe, pkt, host_bytes=0)
+                with tracer.under(sp):
+                    self.charm.converse.cmi_send_device(src_pe, dst_pe, dev_meta)
+                    pkt = _Packet(kind="dev", dev_meta=dev_meta)
+                    self._post_packet(src_pe, dst_pe, pkt, host_bytes=0)
+                sp.end()
 
             sim.schedule(cost, _go)
             return Timeout(sim, cost)
@@ -108,10 +117,19 @@ class Channel:
         nbytes = _host_payload_bytes(args)
         cost = c4p.cython.call_cost() + c4p.cython.serialize_cost(nbytes)
         value = args[0] if len(args) == 1 else args
+        tracer = self.charm.machine.tracer
+        tracer.count("charm4py", "channel_send_host")
+        tracer.charge("charm4py", cost)
+        sp = tracer.span(
+            "charm4py", "channel_send",
+            src_pe=src_pe, dst_pe=dst_pe, size=nbytes, device=False,
+        )
 
         def _go_host() -> None:
-            pkt = _Packet(kind="host", value=value, nbytes=nbytes)
-            self._post_packet(src_pe, dst_pe, pkt, host_bytes=nbytes)
+            with tracer.under(sp):
+                pkt = _Packet(kind="host", value=value, nbytes=nbytes)
+                self._post_packet(src_pe, dst_pe, pkt, host_bytes=nbytes)
+            sp.end()
 
         sim.schedule(cost, _go_host)
         return Timeout(sim, cost)

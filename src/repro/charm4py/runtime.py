@@ -120,6 +120,9 @@ class Charm4py:
     def _handle_channel_msg(self, pe, msg) -> None:
         key, owner_id, pkt = msg.payload
         pe.charge(self.rt.cython_crossing_overhead)
+        self.charm.machine.tracer.charge(
+            "charm4py", self.rt.cython_crossing_overhead
+        )
         ep = self._endpoint(key, owner_id)
         if ep.waiting:
             future, dst = ep.waiting.popleft()
@@ -135,10 +138,12 @@ class Charm4py:
             ep.waiting.append((future, dst))
 
     def _deliver(self, owner_id: int, pkt: _Packet, future: Future, dst) -> None:
+        tracer = self.charm.machine.tracer
         if pkt.kind == "host":
             if dst is not None:
                 raise TypeError("channel.recv(buffer, size) but a host object arrived")
             cost = self.cython.serialize_cost(pkt.nbytes)  # deserialisation
+            tracer.charge("charm4py", cost)
             self.sim.schedule(cost, future.send, pkt.value)
             return
         if dst is None:
@@ -148,12 +153,20 @@ class Charm4py:
         if meta.size > size:
             raise ValueError(f"incoming GPU data of {meta.size} B exceeds posted {size} B")
         pe_index = self.charm.chare_pe[owner_id]
+        rsp = tracer.span(
+            "charm4py", "channel_recv", pe=pe_index, size=meta.size, device=True,
+        )
+
+        def _recv_complete(_op, _sp=rsp) -> None:
+            _sp.end()
+            future.send(None)
+
         op = DeviceRdmaOp(
             dest=buf,
             size=meta.size,
             tag=meta.tag,
             recv_type=DeviceRecvType.CHARM4PY,
-            on_complete=lambda _op: future.send(None),
+            on_complete=_recv_complete,
         )
         # Rendezvous-size device receives cross the Cython layer several
         # times (RTS handling, posting, completion); pipelined inter-node
@@ -169,10 +182,16 @@ class Charm4py:
             dst_node = self.charm.pe_object(pe_index).node
             if src_node != dst_node and not ucx.gpudirect_rdma:
                 delay += chunk_frac * self.rt.charm4py_pipeline_chunk_overhead
+        tracer.charge("charm4py", delay)
         if delay > 0.0:
-            self.sim.schedule(delay, self.charm.converse.cmi_recv_device, pe_index, op)
+            def _post() -> None:
+                with tracer.under(rsp):
+                    self.charm.converse.cmi_recv_device(pe_index, op)
+
+            self.sim.schedule(delay, _post)
         else:
-            self.charm.converse.cmi_recv_device(pe_index, op)
+            with tracer.under(rsp):
+                self.charm.converse.cmi_recv_device(pe_index, op)
 
 
 class _PyCollection:

@@ -21,7 +21,8 @@ copy a config with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field, fields, replace
 
 KB = 1024
 MB = 1024 * 1024
@@ -257,21 +258,75 @@ class MachineConfig:
     trace: bool = False
     seed: int = 0
 
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def summit(cls, nodes: int = 2, **overrides) -> "MachineConfig":
+        """The calibrated Summit configuration used by all paper experiments."""
+        cfg = cls(topology=TopologyConfig(nodes=nodes))
+        if overrides:
+            cfg = _validated_replace(cfg, overrides)
+        return cfg
+
+    @classmethod
+    def default(cls) -> "MachineConfig":
+        """A 2-node Summit machine (enough for all microbenchmarks)."""
+        return cls.summit(nodes=2)
+
+    # -- validated copy helpers -----------------------------------------------
     def with_nodes(self, nodes: int) -> "MachineConfig":
+        if not isinstance(nodes, int) or nodes < 1:
+            raise ValueError(f"nodes must be a positive int, got {nodes!r}")
         return replace(self, topology=replace(self.topology, nodes=nodes))
 
     def without_gdrcopy(self) -> "MachineConfig":
         return replace(self, ucx=replace(self.ucx, gdrcopy_enabled=False))
 
+    def with_trace(self, enabled: bool = True) -> "MachineConfig":
+        return replace(self, trace=bool(enabled))
+
+    def with_overrides(self, **overrides) -> "MachineConfig":
+        """Copy with top-level field overrides; unknown keys raise
+        :class:`ValueError` naming the valid fields."""
+        return _validated_replace(self, overrides)
+
+    def with_ucx(self, **overrides) -> "MachineConfig":
+        return replace(self, ucx=_validated_replace(self.ucx, overrides))
+
+    def with_runtime(self, **overrides) -> "MachineConfig":
+        return replace(self, runtime=_validated_replace(self.runtime, overrides))
+
+    def with_topology(self, **overrides) -> "MachineConfig":
+        return replace(self, topology=_validated_replace(self.topology, overrides))
+
+
+def _validated_replace(cfg, overrides: dict):
+    """``dataclasses.replace`` with an explicit unknown-key error listing the
+    valid field names (instead of ``replace``'s bare TypeError)."""
+    valid = {f.name for f in fields(cfg)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown {type(cfg).__name__} override(s) {unknown}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    return replace(cfg, **overrides)
+
 
 def summit(nodes: int = 2, **overrides) -> MachineConfig:
-    """The calibrated Summit configuration used by all paper experiments."""
-    cfg = MachineConfig(topology=TopologyConfig(nodes=nodes))
-    if overrides:
-        cfg = replace(cfg, **overrides)
-    return cfg
+    """Deprecated alias for :meth:`MachineConfig.summit`."""
+    warnings.warn(
+        "repro.config.summit() is deprecated; use MachineConfig.summit()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return MachineConfig.summit(nodes=nodes, **overrides)
 
 
 def default_config() -> MachineConfig:
-    """Alias for a 2-node Summit machine (enough for all microbenchmarks)."""
-    return summit(nodes=2)
+    """Deprecated alias for :meth:`MachineConfig.default`."""
+    warnings.warn(
+        "repro.config.default_config() is deprecated; use MachineConfig.default()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return MachineConfig.default()

@@ -64,14 +64,12 @@ class Converse:
         rt = self.runtime_cfg
         wire = msg.wire_size(rt.converse_header_bytes, rt.device_metadata_bytes)
         pe = self.pes[src_pe]
-        self.layer.send_host_message(
-            src_pe, msg.dst_pe, msg, wire, departure_delay=pe.current_delay()
-        )
         tracer = self.machine.tracer
-        if tracer.enabled:
-            tracer.emit("converse", "send", handler=msg.handler, bytes=wire)
-        else:
-            tracer.count("converse", "send")
+        tracer.count("converse", "send")
+        with tracer.span("converse", "cmi_send", handler=msg.handler, bytes=wire):
+            self.layer.send_host_message(
+                src_pe, msg.dst_pe, msg, wire, departure_delay=pe.current_delay()
+            )
 
     def cmi_send_device(
         self,
@@ -83,15 +81,24 @@ class Converse:
         """``CmiSendDevice`` (paper Fig. 6, step 2): hand the GPU buffer to
         the machine layer; the assigned tag lands in ``dev_buf.tag``."""
         pe = self.pes[src_pe]
-        self.machine.tracer.emit("converse", "send_device", size=dev_buf.size)
-        return self.layer.lrts_send_device(
-            src_pe, dst_pe, dev_buf,
-            departure_delay=pe.current_delay(),
-            on_complete=on_complete,
-        )
+        tracer = self.machine.tracer
+        tracer.count("converse", "send_device")
+        with tracer.span(
+            "converse", "cmi_send_device",
+            src_pe=src_pe, dst_pe=dst_pe, size=dev_buf.size,
+        ):
+            return self.layer.lrts_send_device(
+                src_pe, dst_pe, dev_buf,
+                departure_delay=pe.current_delay(),
+                on_complete=on_complete,
+            )
 
     def cmi_recv_device(self, pe_index: int, op: DeviceRdmaOp) -> None:
         """``CmiRecvDevice``: post the receive for announced GPU data."""
         pe = self.pes[pe_index]
-        self.machine.tracer.emit("converse", "recv_device", size=op.size)
-        self.layer.lrts_recv_device(pe_index, op, departure_delay=pe.current_delay())
+        tracer = self.machine.tracer
+        tracer.count("converse", "recv_device")
+        with tracer.span("converse", "cmi_recv_device", pe=pe_index, size=op.size):
+            self.layer.lrts_recv_device(
+                pe_index, op, departure_delay=pe.current_delay()
+            )

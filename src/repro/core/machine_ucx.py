@@ -134,15 +134,24 @@ class UcxMachineLayer:
         worker = self.workers[src_pe]
         ep = worker.ep(dst_pe)
         delay = departure_delay + rt.lrts_send_device_overhead + rt.heap_alloc_cost
+        tracer = self.machine.tracer
+        tracer.count("machine", "send_device")
+        tracer.charge("machine", rt.lrts_send_device_overhead + rt.heap_alloc_cost)
+        sp = tracer.span(
+            "machine", "lrts_send_device",
+            src_pe=src_pe, dst_pe=dst_pe, size=dev_buf.size, tag=tag,
+        )
 
         def _complete(_req: UcxRequest) -> None:
+            sp.end()
             if on_complete is not None:
                 on_complete()
 
-        self.sim.schedule(
-            delay,
-            lambda: worker.tag_send_nb(ep, dev_buf.ptr, dev_buf.size, tag, cb=_complete),
-        )
+        def _launch() -> None:
+            with tracer.under(sp):
+                worker.tag_send_nb(ep, dev_buf.ptr, dev_buf.size, tag, cb=_complete)
+
+        self.sim.schedule(delay, _launch)
         return tag
 
     def lrts_recv_device(self, pe: int, op: DeviceRdmaOp, departure_delay: float = 0.0) -> None:
@@ -154,16 +163,26 @@ class UcxMachineLayer:
             raise RuntimeError(f"no device recv handler registered for {op.recv_type}")
         self.device_recvs += 1
         worker = self.workers[pe]
+        tracer = self.machine.tracer
+        tracer.count("machine", "recv_device")
+        tracer.charge("machine", rt.lrts_recv_device_overhead + rt.heap_alloc_cost)
+        sp = tracer.span(
+            "machine", "lrts_recv_device",
+            pe=pe, size=op.size, tag=op.tag, recv_type=op.recv_type.name,
+        )
 
         def _complete(req: UcxRequest) -> None:
             if req.status is not UcsStatus.OK:
                 raise RuntimeError(f"device receive failed: {req.status.name}")
+            sp.end()
             if op.on_complete is not None:
                 op.on_complete(op)
             handler(op)
 
         delay = departure_delay + rt.lrts_recv_device_overhead + rt.heap_alloc_cost
-        self.sim.schedule(
-            delay,
-            lambda: worker.tag_recv_nb(op.dest, op.size, op.tag, cb=_complete),
-        )
+
+        def _post() -> None:
+            with tracer.under(sp):
+                worker.tag_recv_nb(op.dest, op.size, op.tag, cb=_complete)
+
+        self.sim.schedule(delay, _post)

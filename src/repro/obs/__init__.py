@@ -1,0 +1,51 @@
+"""Structured observability: span trees, typed metrics, timeline export.
+
+Usage (normally reached through :mod:`repro.api`)::
+
+    import repro.api as api
+
+    sess = api.session(MachineConfig.summit()).model("ampi").trace().build()
+    ...  # run a workload
+    sess.export_chrome_trace("timeline.json")   # open in ui.perfetto.dev
+    snap = sess.metrics_snapshot()              # plain-dict counters/times
+
+See :mod:`repro.obs.tracing` for the span API and the determinism contract,
+:mod:`repro.obs.metrics` for the registry, :mod:`repro.obs.export` for the
+Chrome-trace format notes.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    metrics_snapshot,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TraceRecord,
+    Tracer,
+    reset_deprecation_warnings,
+)
+
+__all__ = [
+    "chrome_trace",
+    "export_chrome_trace",
+    "metrics_snapshot",
+    "validate_chrome_trace",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "reset_deprecation_warnings",
+]

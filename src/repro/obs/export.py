@@ -1,0 +1,182 @@
+"""Exporters: Chrome-trace/Perfetto JSON timelines and metrics snapshots.
+
+The Chrome trace-event format (``chrome://tracing`` / https://ui.perfetto.dev)
+requires that, within one ``(pid, tid)`` track, ``B``/``E`` duration events
+form a properly nested stack.  Simulator spans are *not* stack-disciplined
+per se — sends overlap receives, rendezvous transfers outlive the calls that
+started them — so the exporter assigns spans to virtual "lanes" greedily:
+a span joins the first lane where it nests inside every still-open span,
+otherwise it opens a new lane.  Each lane becomes one ``tid``, every lane's
+event stream is stack-balanced and time-ordered by construction, and lanes
+are merged into a single ``ts``-monotone event list.
+
+Timestamps are simulated time converted to microseconds (the unit the
+Chrome trace viewer expects).
+"""
+
+from __future__ import annotations
+
+import json
+from heapq import merge
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "export_chrome_trace",
+    "metrics_snapshot",
+    "validate_chrome_trace",
+]
+
+
+def _span_events_by_lane(tracer: Tracer) -> List[List[Dict]]:
+    spans = sorted(tracer.spans, key=lambda s: (s.start, s.sid))
+    # per lane: parallel lists of event dicts and a stack of (span, end) still open
+    lane_events: List[List[Dict]] = []
+    lane_stacks: List[List[tuple]] = []
+
+    def _emit(lane: int, ph: str, span, ts: float) -> None:
+        ev = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": ph,
+            "ts": ts * 1e6,
+            "pid": 0,
+            "tid": lane,
+        }
+        if ph == "B":
+            args = dict(span.attrs)
+            args["sid"] = span.sid
+            if span.parent_sid >= 0:
+                args["parent_sid"] = span.parent_sid
+            ev["args"] = args
+        lane_events[lane].append(ev)
+
+    for sp in spans:
+        start = sp.start
+        end = sp.end_time if sp.end_time is not None else sp.start
+        placed = False
+        for lane, stack in enumerate(lane_stacks):
+            # close spans that ended at or before this start
+            while stack and stack[-1][1] <= start:
+                done, done_end = stack.pop()
+                _emit(lane, "E", done, done_end)
+            if not stack or stack[-1][1] >= end:
+                _emit(lane, "B", sp, start)
+                stack.append((sp, end))
+                placed = True
+                break
+        if not placed:
+            lane_events.append([])
+            lane_stacks.append([])
+            lane = len(lane_stacks) - 1
+            _emit(lane, "B", sp, start)
+            lane_stacks[lane].append((sp, end))
+    for lane, stack in enumerate(lane_stacks):
+        while stack:
+            done, done_end = stack.pop()
+            _emit(lane, "E", done, done_end)
+    return lane_events
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> Dict:
+    """Render the tracer's span tree as a Chrome trace-event JSON dict."""
+    lane_events = _span_events_by_lane(tracer)
+    meta: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for lane in range(len(lane_events)):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": lane,
+                "args": {"name": f"lane {lane}"},
+            }
+        )
+    events = meta + list(merge(*lane_events, key=lambda e: e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"metrics": tracer.metrics.snapshot()},
+    }
+
+
+def export_chrome_trace(
+    tracer: Tracer, path: Union[str, Path], process_name: str = "repro-sim"
+) -> Path:
+    """Write the Chrome-trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name=process_name)))
+    return path
+
+
+def metrics_snapshot(tracer: Tracer) -> Dict:
+    """Plain-dict snapshot of the tracer's metrics registry (stable schema:
+    ``counters`` / ``gauges`` / ``histograms`` / ``time_by_category``)."""
+    return tracer.metrics.snapshot()
+
+
+def validate_chrome_trace(trace: Dict) -> Dict:
+    """Validate a Chrome-trace dict: required keys, monotone ``ts``, and
+    matched ``B``/``E`` pairs per ``(pid, tid)`` track.  Returns summary
+    stats; raises :class:`ValueError` on any violation."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    stacks: Dict[tuple, List[str]] = {}
+    categories = set()
+    last_ts: Optional[float] = None
+    n_spans = 0
+    for i, ev in enumerate(events):
+        for req in ("name", "ph", "pid", "tid"):
+            if req not in ev:
+                raise ValueError(f"event {i} missing required key {req!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            raise ValueError(f"event {i}: unsupported phase {ph!r}")
+        if "ts" not in ev:
+            raise ValueError(f"event {i} missing required key 'ts'")
+        ts = ev["ts"]
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event {i}: non-monotone ts ({ts} after {last_ts})"
+            )
+        last_ts = ts
+        track = (ev["pid"], ev["tid"])
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(ev["name"])
+            categories.add(ev.get("cat", ""))
+            n_spans += 1
+        else:
+            if not stack:
+                raise ValueError(f"event {i}: 'E' with empty stack on {track}")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                raise ValueError(
+                    f"event {i}: 'E' name {ev['name']!r} does not match "
+                    f"open 'B' {opened!r} on {track}"
+                )
+    for track, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unclosed 'B' events on track {track}: {stack}")
+    return {
+        "n_events": len(events),
+        "n_spans": n_spans,
+        "n_tracks": len(stacks),
+        "categories": categories,
+    }

@@ -1,0 +1,334 @@
+"""Hierarchical span-tree tracing for the simulator.
+
+Replaces the flat ``span_begin``/``span_end`` pairs of the original
+:class:`repro.sim.trace.Tracer` with first-class :class:`Span` objects:
+
+* ``with tracer.span("ucx", "tag_send", size=n):`` — synchronous spans that
+  nest lexically (the tracer keeps an active-span stack, so a span opened
+  inside another becomes its child);
+* ``sp = tracer.span(...)`` + ``sp.end()`` — spans whose lifetime crosses
+  simulator events (a send that completes when the FIN arrives);
+* ``with tracer.under(sp):`` — re-activate an open span as the ambient
+  parent inside a *later* scheduled callback, so work the simulator runs
+  on behalf of that operation still nests under it.
+
+Determinism contract (enforced by ``tests/test_obs_golden.py``): tracing
+code never calls ``sim.schedule``, never changes a modeled delay, and the
+per-event counters are incremented identically whether tracing is enabled
+or not.  With tracing disabled every ``tracer.span(...)`` returns the
+shared :data:`NULL_SPAN` — no allocation, no bookkeeping — keeping the hot
+path near-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+    "reset_deprecation_warnings",
+]
+
+
+@dataclass
+class TraceRecord:
+    """One flat trace event (the ``emit`` API, kept for point events)."""
+
+    time: float
+    category: str
+    event: str
+    detail: Dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared sink for all span operations while tracing is disabled."""
+
+    __slots__ = ()
+
+    sid = -1
+    parent_sid = -1
+    category = ""
+    name = ""
+    start = 0.0
+    end_time = None
+    attrs: Dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def end(self, **attrs) -> None:
+        return None
+
+    def annotate(self, **attrs) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<NULL_SPAN>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One node of the span tree: ``[start, end_time]`` in simulated seconds,
+    linked to its parent by ``parent_sid``."""
+
+    __slots__ = ("_tracer", "sid", "parent_sid", "category", "name",
+                 "start", "end_time", "attrs")
+
+    def __init__(self, tracer: "Tracer", sid: int, parent_sid: int,
+                 category: str, name: str, start: float, attrs: Dict) -> None:
+        self._tracer = tracer
+        self.sid = sid
+        self.parent_sid = parent_sid
+        self.category = category
+        self.name = name
+        self.start = start
+        self.end_time: Optional[float] = None
+        self.attrs = attrs
+
+    # -- context-manager form (synchronous nesting) ------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.end()
+
+    # -- explicit form (lifetime crosses simulator events) ------------------------
+    def end(self, **attrs) -> None:
+        """Close the span at the current simulated time (idempotent)."""
+        if self.end_time is not None:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        tracer = self._tracer
+        self.end_time = tracer.sim.now
+        tracer._time_acc[self.category] = (
+            tracer._time_acc.get(self.category, 0.0) + self.end_time - self.start
+        )
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        return (self.end_time if self.end_time is not None else self.start) - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.category}/{self.name} sid={self.sid} "
+                f"parent={self.parent_sid} [{self.start}, {self.end_time}])")
+
+
+class _Under:
+    """``with tracer.under(span):`` — push an existing open span as the
+    ambient parent without re-entering or ending it."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        stack = self._tracer._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_CTX = _NullContext()
+
+# Names for which a deprecation warning has already been emitted this process.
+_DEPRECATION_WARNED: Set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecated names have warned (test helper)."""
+    _DEPRECATION_WARNED.clear()
+
+
+def _warn_once(name: str, message: str, stacklevel: int = 3) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+class Tracer:
+    """Span-tree tracer + metrics registry for one simulated machine.
+
+    Cheap to keep around disabled: ``count`` is a dict increment, ``span``
+    returns :data:`NULL_SPAN`, ``charge``/``emit`` return immediately.
+    """
+
+    def __init__(self, sim, enabled: bool = False) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.records: List[TraceRecord] = []
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_sid = 0
+        # category -> accumulated span time (includes legacy span_begin pairs)
+        self._time_acc: Dict[str, float] = {}
+        # legacy span_begin/span_end bookkeeping: (category, key) -> LIFO
+        # stack of open-span start times (always on, like the original API)
+        self._open_spans: Dict[tuple, List[float]] = {}
+
+    # -- span tree ----------------------------------------------------------------
+    def span(self, category: str, name: Optional[str] = None,
+             parent: Optional[Span] = None, **attrs) -> Span:
+        """Open a span at ``sim.now``.  Use as a context manager for
+        synchronous nesting, or keep the handle and call ``.end()`` when the
+        operation completes in a later simulator event.
+
+        ``parent`` overrides the ambient active-span stack (used to link a
+        receive-side span to the posted request it completes)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            stack = self._stack
+            parent_sid = stack[-1].sid if stack else -1
+        else:
+            parent_sid = parent.sid
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        sp = Span(self, sid, parent_sid, category, name or category,
+                  self.sim.now, attrs)
+        self.spans.append(sp)
+        return sp
+
+    def under(self, span: Optional[Span]):
+        """Context manager making ``span`` the ambient parent (no-op for
+        ``None``/``NULL_SPAN`` or when tracing is disabled)."""
+        if not self.enabled or span is None or span is NULL_SPAN:
+            return _NULL_CTX
+        return _Under(self, span)
+
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def span_children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_sid == span.sid]
+
+    def span_roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_sid == -1]
+
+    # -- metrics shims (identical on/off so fingerprints cannot diverge) -----------
+    def count(self, category: str, event: str, n: int = 1) -> None:
+        self.metrics.inc(category, event, n)
+
+    def charge(self, category: str, seconds: float) -> None:
+        """Attribute modeled CPU time to a layer (enabled-only; simulated
+        delays are computed before this call and never depend on it)."""
+        if self.enabled:
+            self.metrics.add_time(category, seconds)
+
+    def observe(self, name: str, value: float, bounds=None) -> None:
+        if self.enabled:
+            if bounds is None:
+                self.metrics.observe(name, value)
+            else:
+                self.metrics.observe(name, value, bounds)
+
+    # -- flat point events (legacy emit API, still supported) ----------------------
+    def emit(self, category: str, event: str, **detail) -> None:
+        self.metrics.inc(category, event)
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, event, detail))
+
+    @property
+    def counters(self):
+        return self.metrics.counters
+
+    def filter(self, category: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        out = []
+        for r in self.records:
+            if category is not None and r.category != category:
+                continue
+            if event is not None and r.event != event:
+                continue
+            out.append(r)
+        return out
+
+    # -- span time accounting --------------------------------------------------------
+    def time_in(self, category: str) -> float:
+        """Total simulated time spent inside *ended* spans of ``category``
+        (overlapping spans double-count, as the legacy API did)."""
+        return self._time_acc.get(category, 0.0)
+
+    # -- deprecated flat span API -------------------------------------------------------
+    # Kept with the exact legacy semantics (always-on accounting, re-entrant
+    # LIFO per key, unmatched end returns 0.0) so existing callers only gain
+    # a DeprecationWarning, never a behaviour change.
+    def span_begin(self, category: str, key=None) -> None:
+        """Deprecated: use ``tracer.span(category, ...)`` instead."""
+        _warn_once(
+            "Tracer.span_begin",
+            "Tracer.span_begin/span_end are deprecated; use the "
+            "context-manager span API: `with tracer.span(category, name): ...` "
+            "or `sp = tracer.span(...); ...; sp.end()`.",
+        )
+        stack = self._open_spans.get((category, key))
+        if stack is None:
+            self._open_spans[(category, key)] = [self.sim.now]
+        else:
+            stack.append(self.sim.now)
+
+    def span_end(self, category: str, key=None) -> float:
+        """Deprecated: use ``Span.end()``/the context-manager form instead."""
+        _warn_once(
+            "Tracer.span_end",
+            "Tracer.span_begin/span_end are deprecated; use the "
+            "context-manager span API: `with tracer.span(category, name): ...` "
+            "or `sp = tracer.span(...); ...; sp.end()`.",
+        )
+        stack = self._open_spans.get((category, key))
+        if not stack:
+            return 0.0
+        start = stack.pop()
+        elapsed = self.sim.now - start
+        self._time_acc[category] = self._time_acc.get(category, 0.0) + elapsed
+        return elapsed
+
+    # -- lifecycle ------------------------------------------------------------------------
+    def reset(self) -> None:
+        self.records.clear()
+        self.spans.clear()
+        self._stack.clear()
+        self._next_sid = 0
+        self._time_acc.clear()
+        self._open_spans.clear()
+        self.metrics.reset()

@@ -16,7 +16,7 @@ from typing import Any, List, Optional
 
 from repro.ampi.mpi import MpiStatus, MpiTruncationError
 from repro.ampi.request import MpiRequest, waitall
-from repro.config import MachineConfig, default_config
+from repro.config import MachineConfig
 from repro.hardware.memory import Buffer
 from repro.hardware.topology import Machine
 from repro.sim.primitives import AllOf, SimEvent
@@ -91,12 +91,21 @@ class OmpiRank:
     def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> SimEvent:
         ev = SimEvent(self.sim, name=f"ompi.send r{self.rank}->r{dst}")
         ucp_tag = encode_mpi_tag(self.rank, tag)
+        tracer = self.lib.machine.tracer
+        tracer.count("openmpi", "send")
+        tracer.charge("openmpi", self.lib.rt.ompi_send_overhead)
+        sp = tracer.span(
+            "openmpi", "mpi_send", rank=self.rank, dst=dst, tag=tag, size=nbytes
+        )
+
+        def _complete(_req) -> None:
+            sp.end()
+            ev.succeed(None)
 
         def _post() -> None:
             ep = self.worker.ep(dst)
-            self.worker.tag_send_nb(
-                ep, buf, nbytes, ucp_tag, cb=lambda _req: ev.succeed(None)
-            )
+            with tracer.under(sp):
+                self.worker.tag_send_nb(ep, buf, nbytes, ucp_tag, cb=_complete)
 
         self.sim.schedule(self._cpu_delay(self.lib.rt.ompi_send_overhead), _post)
         return ev
@@ -107,8 +116,13 @@ class OmpiRank:
         ev = SimEvent(self.sim, name=f"ompi.recv r{self.rank}")
         want = encode_mpi_tag(0 if src == ANY_SOURCE else src, 0 if tag == ANY_TAG else tag)
         mask = match_mask(src, tag)
+        tracer = self.lib.machine.tracer
+        tracer.count("openmpi", "recv")
+        tracer.charge("openmpi", self.lib.rt.ompi_recv_overhead)
+        sp = tracer.span("openmpi", "mpi_recv", rank=self.rank, src=src, tag=tag)
 
         def _complete(req) -> None:
+            sp.end()
             if req.status is UcsStatus.ERR_MESSAGE_TRUNCATED:
                 ev.fail(MpiTruncationError("posted receive too small"))
                 return
@@ -116,10 +130,11 @@ class OmpiRank:
             s, t = decode_mpi_tag(got_tag)
             ev.succeed(MpiStatus(source=s, tag=t, count=got_len))
 
-        self.sim.schedule(
-            self._cpu_delay(self.lib.rt.ompi_recv_overhead),
-            lambda: self.worker.tag_recv_nb(buf, capacity, want, mask, cb=_complete),
-        )
+        def _post() -> None:
+            with tracer.under(sp):
+                self.worker.tag_recv_nb(buf, capacity, want, mask, cb=_complete)
+
+        self.sim.schedule(self._cpu_delay(self.lib.rt.ompi_recv_overhead), _post)
         return ev
 
     def isend(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> MpiRequest:
@@ -175,7 +190,7 @@ class OpenMpi:
     def __init__(
         self, config: Optional[MachineConfig] = None, n_ranks: Optional[int] = None
     ) -> None:
-        self.cfg = config if config is not None else default_config()
+        self.cfg = config if config is not None else MachineConfig.default()
         self.machine = Machine(self.cfg)
         self.rt = self.cfg.runtime
         self.ucp = UcpContext(self.machine)

@@ -1,110 +1,16 @@
-"""Lightweight time-stamped tracing and counters.
+"""Compatibility shim: the tracer moved to :mod:`repro.obs`.
 
-Every layer can emit :class:`TraceRecord` entries through a shared
-:class:`Tracer`; the benchmark harness uses categories (``"ucx"``,
-``"machine"``, ``"ampi"``…) to attribute time to layers — this is how the
-reproduction of the paper's §IV-B1 overhead-anatomy experiment (the ~8 μs of
-AMPI time outside UCX) is measured rather than asserted.
+``repro.sim.trace.Tracer`` is now the span-tree tracer from
+:mod:`repro.obs.tracing` — same constructor, same ``emit``/``count``/
+``counters`` hot path, plus hierarchical spans (``tracer.span(...)``) and a
+typed metrics registry (``tracer.metrics``).  The flat
+``span_begin``/``span_end`` methods survive with their exact legacy
+semantics but emit a :class:`DeprecationWarning` once per name.
 
-``emit`` sits on the per-message hot path of every layer, so a disabled
-tracer must be near-free: counters are kept in a plain dict keyed by the
-``(category, event)`` tuple (no f-string formatting, no ``Counter`` hashing
-per event) and only materialised into the dotted-key :class:`Counter` view
-when :attr:`Tracer.counters` is actually read.  Hot call sites that would
-otherwise build a ``detail`` kwargs dict per event can call :meth:`count`
-directly when ``enabled`` is False.
+Importing from this module keeps working indefinitely; new code should
+import from :mod:`repro.obs` (or use the :mod:`repro.api` facade).
 """
 
-from __future__ import annotations
+from repro.obs.tracing import NULL_SPAN, Span, TraceRecord, Tracer
 
-from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
-
-from repro.sim.engine import Simulator
-
-
-@dataclass
-class TraceRecord:
-    time: float
-    category: str
-    event: str
-    detail: Dict[str, Any] = field(default_factory=dict)
-
-
-class Tracer:
-    """Collects trace records and counters; disabled tracers are near-free."""
-
-    def __init__(self, sim: Simulator, enabled: bool = False) -> None:
-        self.sim = sim
-        self.enabled = enabled
-        self.records: List[TraceRecord] = []
-        self._counts: Dict[Tuple[str, str], int] = {}
-        self._counters_view: Optional[Counter] = None
-        self._time_acc: Dict[str, float] = defaultdict(float)
-        # per-(category, key) stacks of open-span start times: the same span
-        # key may be opened re-entrantly (nested calls); ends pop LIFO
-        self._open_spans: Dict[tuple, List[float]] = {}
-
-    def count(self, category: str, event: str) -> None:
-        """Bump the ``category.event`` counter without any record/formatting
-        work — the hot-path alternative to :meth:`emit` while disabled."""
-        key = (category, event)
-        counts = self._counts
-        counts[key] = counts.get(key, 0) + 1
-        self._counters_view = None
-
-    def emit(self, category: str, event: str, **detail: Any) -> None:
-        key = (category, event)
-        counts = self._counts
-        counts[key] = counts.get(key, 0) + 1
-        self._counters_view = None
-        if self.enabled:
-            self.records.append(TraceRecord(self.sim.now, category, event, detail))
-
-    @property
-    def counters(self) -> Counter:
-        """Counter view keyed ``"category.event"`` (built lazily on read)."""
-        view = self._counters_view
-        if view is None:
-            view = Counter(
-                {f"{c}.{e}": n for (c, e), n in self._counts.items()}
-            )
-            self._counters_view = view
-        return view
-
-    # -- span accounting (always on; cheap) ---------------------------------
-    def span_begin(self, category: str, key: Any = None) -> None:
-        stack = self._open_spans.get((category, key))
-        if stack is None:
-            self._open_spans[(category, key)] = [self.sim.now]
-        else:
-            stack.append(self.sim.now)
-
-    def span_end(self, category: str, key: Any = None) -> float:
-        stack = self._open_spans.get((category, key))
-        if not stack:
-            return 0.0
-        start = stack.pop()
-        elapsed = self.sim.now - start
-        self._time_acc[category] += elapsed
-        return elapsed
-
-    def time_in(self, category: str) -> float:
-        """Total simulated time accumulated in spans of ``category``."""
-        return self._time_acc[category]
-
-    def filter(self, category: Optional[str] = None, event: Optional[str] = None) -> List[TraceRecord]:
-        out = self.records
-        if category is not None:
-            out = [r for r in out if r.category == category]
-        if event is not None:
-            out = [r for r in out if r.event == event]
-        return out
-
-    def reset(self) -> None:
-        self.records.clear()
-        self._counts.clear()
-        self._counters_view = None
-        self._time_acc.clear()
-        self._open_spans.clear()
+__all__ = ["NULL_SPAN", "Span", "TraceRecord", "Tracer"]

@@ -19,4 +19,7 @@ def ipc_setup_cost(ctx, opener_gpu: int, src_buf: Buffer) -> float:
     ``cudaIpcOpenMemHandle``; subsequent transfers hit the handle cache.
     """
     handle = ctx.cuda.ipc_get_handle(src_buf)
-    return ctx.cuda.ipc_open_cost(opener_gpu, handle)
+    cost = ctx.cuda.ipc_open_cost(opener_gpu, handle)
+    cached = cost == ctx.cuda.cfg.ipc_cached_open_cost
+    ctx.machine.tracer.count("cuda_ipc", "open_cached" if cached else "open_new")
+    return cost

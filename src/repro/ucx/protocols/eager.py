@@ -36,6 +36,10 @@ def start_send(
     cfg = ctx.cfg
     copy_in = staging_copy_time(ctx, buf, size)
     delay = cfg.send_overhead + cfg.request_alloc_cost + copy_in
+    tracer = ctx.machine.tracer
+    sp = tracer.span(
+        "ucx.eager", "eager_send", size=size, tag=tag, device=buf.on_device
+    )
 
     # The bounce travels with the message; by delivery time it logically
     # lives in the receiver's host memory.
@@ -53,6 +57,7 @@ def start_send(
     )
 
     def _copied() -> None:
+        sp.end()
         req.complete(UcsStatus.OK)
         worker.transmit(remote, msg)
 
@@ -76,9 +81,16 @@ def finish_recv(
         )
         return
     copy_out = staging_copy_time(ctx, posted.buf, msg.size)
+    tracer = ctx.machine.tracer
+    sp = tracer.span(
+        "ucx.eager", "eager_recv",
+        size=msg.size, tag=msg.tag, device=posted.buf.on_device,
+        parent=posted.req.span,
+    )
 
     def _done() -> None:
         posted.buf.copy_from(msg.bounce, msg.size)
+        sp.end()
         posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
 
     worker.sim.schedule(pre_delay + copy_out, _done)

@@ -27,6 +27,13 @@ import math
 from repro.config import MachineConfig
 
 
+def pipeline_chunks(cfg: MachineConfig, size: int) -> int:
+    """Number of staging chunks a pipelined transfer of ``size`` bytes uses."""
+    if size <= 0:
+        return 0
+    return math.ceil(size / cfg.ucx.pipeline_chunk)
+
+
 def pipeline_extra_time(cfg: MachineConfig, size: int) -> float:
     """Extra latency of the pipelined path beyond ``size / nic_bw``."""
     ucx = cfg.ucx
@@ -34,7 +41,7 @@ def pipeline_extra_time(cfg: MachineConfig, size: int) -> float:
     chunk = min(ucx.pipeline_chunk, size) if size > 0 else 0
     if chunk == 0:
         return 0.0
-    nchunks = math.ceil(size / ucx.pipeline_chunk)
+    nchunks = pipeline_chunks(cfg, size)
     fill = chunk / topo.nvlink.bandwidth
     drain = chunk / topo.nvlink.bandwidth
     odds = nchunks * ucx.pipeline_per_chunk_cost

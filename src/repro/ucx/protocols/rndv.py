@@ -25,9 +25,10 @@ from typing import TYPE_CHECKING
 
 from repro.hardware.links import path_transfer
 from repro.hardware.memory import Buffer
+from repro.obs.tracing import NULL_SPAN
 from repro.ucx.constants import CTRL_MSG_BYTES
 from repro.ucx.protocols.cuda_ipc import ipc_setup_cost
-from repro.ucx.protocols.pipeline import pipeline_extra_time
+from repro.ucx.protocols.pipeline import pipeline_chunks, pipeline_extra_time
 from repro.ucx.request import UcxRequest
 from repro.ucx.status import UcsStatus
 from repro.ucx.wire import WireKind, WireMessage, next_rndv_id
@@ -61,7 +62,18 @@ def start_send(
         wire_seq=wire_seq,
     )
     delay = cfg.send_overhead + cfg.request_alloc_cost + cfg.rndv_rts_cost
-    worker.sim.schedule(delay, worker.transmit, remote, msg, CTRL_MSG_BYTES)
+    tracer = worker.ctx.machine.tracer
+    if tracer.enabled:
+        sp = tracer.span("ucx.rndv", "rndv_rts", size=size, tag=tag,
+                         device=buf.on_device)
+
+        def _rts() -> None:
+            sp.end()
+            worker.transmit(remote, msg, CTRL_MSG_BYTES)
+
+        worker.sim.schedule(delay, _rts)
+    else:
+        worker.sim.schedule(delay, worker.transmit, remote, msg, CTRL_MSG_BYTES)
 
 
 def start_transfer(
@@ -126,12 +138,30 @@ def start_transfer(
     else:
         route = machine.route(src_loc, dst_loc)
 
+    tracer = machine.tracer
+    if tracer.enabled:
+        if not inter_node and src.on_device and dst.on_device:
+            lane = "cuda_ipc"
+        elif pipelined:
+            lane = "pipeline"
+        elif inter_node:
+            lane = "rdma_get"
+        else:
+            lane = "cma"
+        attrs = {"size": msg.size, "tag": msg.tag, "lane": lane}
+        if pipelined:
+            attrs["chunks"] = pipeline_chunks(machine.cfg, msg.size)
+        sp = tracer.span("ucx.rndv", "rndv_fetch", parent=posted.req.span, **attrs)
+    else:
+        sp = NULL_SPAN
+
     def _begin() -> None:
         done = path_transfer(sim, route, msg.size)
         done.add_callback(_data_arrived)
 
     def _data_arrived(_ev) -> None:
         dst.copy_from(src, msg.size)
+        sp.end()
         posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
         fin = WireMessage(
             kind=WireKind.FIN,

@@ -26,7 +26,7 @@ class UcxRequest:
 
     __slots__ = (
         "sim", "kind", "tag", "size", "cb", "event",
-        "status", "info", "posted_at", "completed_at",
+        "status", "info", "posted_at", "completed_at", "span",
     )
 
     def __init__(
@@ -47,6 +47,8 @@ class UcxRequest:
         self.info: Any = None
         self.posted_at = sim.now
         self.completed_at: Optional[float] = None
+        # observability: the tracing span covering this request, if any
+        self.span: Any = None
 
     @property
     def completed(self) -> bool:

@@ -28,6 +28,8 @@ from typing import Dict, Optional
 from repro.core.matchq import make_match_queue
 from repro.hardware.links import path_transfer
 from repro.hardware.memory import Buffer
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.tracing import NULL_SPAN
 from repro.ucx.constants import (
     CTRL_MSG_BYTES,
     LOOPBACK_LATENCY,
@@ -114,21 +116,40 @@ class UcpWorker:
         self.sends += 1
         ep.messages_sent += 1
         ep.bytes_sent += size
+        cfg = self.ctx.cfg
         req = UcxRequest(self.sim, RequestKind.SEND, tag, size, cb)
-        proto = choose_send_protocol(self.ctx.cfg, buf, size)
+        proto = choose_send_protocol(cfg, buf, size)
         tracer = self.ctx.machine.tracer
+        tracer.count("ucx", "send")
+        tracer.charge("ucx", cfg.send_overhead + cfg.request_alloc_cost)
         if tracer.enabled:
-            tracer.emit("ucx", "send", tag=tag, size=size, proto=proto.value)
+            sp = tracer.span("ucx", "tag_send", tag=tag, size=size, proto=proto.value)
+            req.span = sp
+            tracer.observe("ucx.send_size_bytes", size)
+            _user_cb = req.cb
+
+            def _send_done(r, _sp=sp, _cb=_user_cb):
+                _sp.end()
+                tracer.observe(
+                    "ucx.send_latency_seconds",
+                    r.completed_at - r.posted_at,
+                    LATENCY_BUCKETS,
+                )
+                if _cb is not None:
+                    _cb(r)
+
+            req.cb = _send_done
         else:
-            tracer.count("ucx", "send")
+            sp = NULL_SPAN
         # matching order follows the tag_send_nb call order, whatever the
         # protocols' differing pre-send delays do to physical arrival order
         seq = self._tx_seq.get(ep.remote.worker_id, 0)
         self._tx_seq[ep.remote.worker_id] = seq + 1
-        if proto is Protocol.EAGER:
-            eager_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
-        else:
-            rndv_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+        with tracer.under(sp):
+            if proto is Protocol.EAGER:
+                eager_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+            else:
+                rndv_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
         return req
 
     def tag_recv_nb(
@@ -151,6 +172,25 @@ class UcpWorker:
         req = UcxRequest(self.sim, RequestKind.RECV, tag, size, cb)
         posted = PostedRecv(tag, mask, buf, size, req)
         base = cfg.recv_overhead + cfg.request_alloc_cost
+        tracer = self.ctx.machine.tracer
+        tracer.count("ucx", "recv")
+        tracer.charge("ucx", base)
+        if tracer.enabled:
+            sp = tracer.span("ucx", "tag_recv", tag=tag, size=size)
+            req.span = sp
+            _user_cb = req.cb
+
+            def _recv_done(r, _sp=sp, _cb=_user_cb):
+                _sp.end()
+                tracer.observe(
+                    "ucx.recv_latency_seconds",
+                    r.completed_at - r.posted_at,
+                    LATENCY_BUCKETS,
+                )
+                if _cb is not None:
+                    _cb(r)
+
+            req.cb = _recv_done
 
         # unexpected messages carry concrete tags (their queue key); a
         # full-mask receive is an exact lookup, a masked one falls back to
@@ -162,6 +202,8 @@ class UcpWorker:
         if msg is not None:
             self.unexpected_hits += 1
             self.tag_scans += scanned
+            tracer.count("ucx", "unexpected_hit")
+            tracer.charge("ucx", cfg.tag_match_cost * scanned)
             delay = base + cfg.tag_match_cost * scanned
             self._dispatch_match(msg, posted, delay)
             return req
@@ -217,6 +259,16 @@ class UcpWorker:
         topo = self.ctx.machine.cfg.topology
         req = UcxRequest(self.sim, RequestKind.SEND, 0, size, None)
         remote = ep.remote
+        tracer = self.ctx.machine.tracer
+        tracer.count("ucx", "am_send")
+        tracer.charge("ucx", cfg.send_overhead + cfg.request_alloc_cost)
+        if tracer.enabled:
+            sp = tracer.span(
+                "ucx", "am_send",
+                size=size, rndv=size >= cfg.host_rndv_threshold,
+            )
+            req.span = sp
+            req.cb = lambda r, _sp=sp: _sp.end()
 
         if size < cfg.host_rndv_threshold:
             # eager: copy-in, wire, copy-out.  Eager host messages carry a
@@ -342,10 +394,8 @@ class UcpWorker:
     def _on_wire(self, msg: WireMessage) -> None:
         """A message arrived (called at its simulated arrival instant)."""
         tracer = self.ctx.machine.tracer
-        if tracer.enabled:
-            tracer.emit("ucx", "arrive", kind=msg.kind.value, tag=msg.tag)
-        else:
-            tracer.count("ucx", "arrive")
+        tracer.count("ucx", "arrive")
+        tracer.charge("ucx", self.ctx.cfg.progress_overhead)
         if msg.kind is WireKind.FIN:
             rndv_proto.finish_send(self, msg)
             return
@@ -380,6 +430,9 @@ class UcpWorker:
         if posted is not None:
             self.expected_hits += 1
             self.tag_scans += scanned
+            tracer = self.ctx.machine.tracer
+            tracer.count("ucx", "expected_hit")
+            tracer.charge("ucx", cfg.tag_match_cost * scanned)
             delay = base + cfg.tag_match_cost * scanned
             self._dispatch_match(msg, posted, delay)
             return

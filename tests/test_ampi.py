@@ -7,11 +7,11 @@ from repro.ampi import ANY_SOURCE, ANY_TAG, Ampi
 from repro.ampi.datatypes import DOUBLE, INT
 from repro.ampi.mpi import MpiTruncationError
 from repro.charm import Charm
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 
 
 def run_ranks(program, nodes=2, ranks_per_pe=1, max_events=5_000_000):
-    charm = Charm(summit(nodes=nodes))
+    charm = Charm(MachineConfig.summit(nodes=nodes))
     ampi = Ampi(charm, ranks_per_pe=ranks_per_pe)
     done = ampi.launch(program)
     charm.run_until(done, max_events=max_events)
@@ -290,7 +290,7 @@ class TestVirtualization:
         assert len(out) == ampi.n_ranks
 
     def test_block_mapping(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         ampi = Ampi(charm, ranks_per_pe=2)
         assert ampi.rank_pe(0) == 0 and ampi.rank_pe(1) == 0
         assert ampi.rank_pe(2) == 1

@@ -5,11 +5,11 @@ import pytest
 
 from repro.ampi import Ampi
 from repro.charm import Charm
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 def run_collective(program, nodes=2):
-    charm = Charm(summit(nodes=nodes))
+    charm = Charm(MachineConfig.summit(nodes=nodes))
     ampi = Ampi(charm)
     done = ampi.launch(program)
     charm.run_until(done, max_events=10_000_000)

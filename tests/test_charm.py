@@ -6,13 +6,13 @@ import pytest
 from repro.charm import Charm, Chare, CkCallback, CkDeviceBuffer
 from repro.charm.charm import marshal_bytes
 from repro.charm.zerocopy import PostError
-from repro.config import summit
+from repro.config import MachineConfig
 from repro.sim.primitives import SimEvent
 
 
 @pytest.fixture
 def charm():
-    return Charm(summit(nodes=2))
+    return Charm(MachineConfig.summit(nodes=2))
 
 
 class Echo(Chare):

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.charm4py import Charm4py, PyChare
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 from repro.sim.primitives import SimEvent
 
 
 @pytest.fixture
 def c4p():
-    return Charm4py(summit(nodes=2))
+    return Charm4py(MachineConfig.summit(nodes=2))
 
 
 class Pair(PyChare):
@@ -169,7 +169,7 @@ class TestPythonCosts:
                 partner.hit(self.thisProxy)
 
         def run_charm():
-            charm = Charm(summit(nodes=1))
+            charm = Charm(MachineConfig.summit(nodes=1))
             done = SimEvent(charm.sim)
             a = charm.create_chare(Bounce, 0, done)
             b = charm.create_chare(Bounce, 1, done)
@@ -180,7 +180,7 @@ class TestPythonCosts:
             pass
 
         def run_c4p():
-            c4p = Charm4py(summit(nodes=1))
+            c4p = Charm4py(MachineConfig.summit(nodes=1))
             done = SimEvent(c4p.sim)
             a = c4p.create_chare(PyBounce, 0, done)
             b = c4p.create_chare(PyBounce, 1, done)

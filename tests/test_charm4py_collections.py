@@ -3,7 +3,7 @@
 import pytest
 
 from repro.charm4py import Charm4py, PyChare
-from repro.config import KB, summit
+from repro.config import KB, MachineConfig
 
 
 class Counter(PyChare):
@@ -16,7 +16,7 @@ class Counter(PyChare):
 
 class TestPyCollections:
     def test_group_broadcast_with_python_costs(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         hits = []
         g = c4p.create_group(Counter, hits)
         g.bump(3)  # broadcast through the Python proxy
@@ -25,13 +25,13 @@ class TestPyCollections:
         assert all(a == 3 for _i, a in hits)
 
     def test_array_indexing_and_len(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         arr = c4p.create_array(Counter, 9, [])
         assert len(arr) == 9
         assert arr[4].chare_id == arr[4].chare_id
 
     def test_element_targeting(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         hits = []
         arr = c4p.create_array(Counter, 6, hits)
         arr[2].bump(1)
@@ -56,7 +56,7 @@ class TestChannelEdgeCases:
                     self.out.append(v)
 
     def test_multi_object_payloads(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         out = []
         arr = c4p.create_array(self.Pair, 2, out, mapping=lambda i: i)
         arr[0].multi(arr[1], 4)
@@ -67,7 +67,7 @@ class TestChannelEdgeCases:
     def test_two_channels_same_pair_are_one_stream(self):
         """Channels are identified by the chare pair: a second Channel object
         between the same chares shares the endpoint state (documented)."""
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
 
         class Dual(PyChare):
             def __init__(self, out):
@@ -94,7 +94,7 @@ class TestChannelEdgeCases:
     def test_large_host_object_costs_serialisation_time(self):
         import numpy as np
 
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
 
         class Pair(PyChare):
             def __init__(self, times):

@@ -9,13 +9,13 @@ import pytest
 
 from repro.ampi import Ampi
 from repro.charm import Charm
-from repro.config import summit
+from repro.config import MachineConfig
 
 COUNTS = [1, 2, 3, 5, 7, 8, 11, 12]
 
 
 def run_collective(n_ranks, program):
-    charm = Charm(summit(nodes=2))
+    charm = Charm(MachineConfig.summit(nodes=2))
     ampi = Ampi(charm, n_ranks=n_ranks)
     done = ampi.launch(program)
     charm.run_until(done, max_events=20_000_000)

@@ -13,8 +13,6 @@ from repro.config import (
     MachineConfig,
     TagConfig,
     TopologyConfig,
-    default_config,
-    summit,
 )
 
 
@@ -23,8 +21,26 @@ class TestPackage:
         assert repro.__version__
 
     def test_top_level_exports(self):
-        assert repro.summit is summit
-        assert isinstance(repro.default_config(), MachineConfig)
+        import repro.config
+
+        assert repro.summit is repro.config.summit
+        assert isinstance(MachineConfig.default(), MachineConfig)
+
+    def test_api_facade_importable(self):
+        assert repro.api.MODELS == ("charm", "ampi", "openmpi", "charm4py")
+        assert callable(repro.api.session)
+
+
+class TestDeprecatedAliases:
+    def test_free_summit_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="MachineConfig.summit"):
+            cfg = repro.summit(nodes=3)
+        assert cfg == MachineConfig.summit(nodes=3)
+
+    def test_free_default_config_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="MachineConfig.default"):
+            cfg = repro.default_config()
+        assert cfg == MachineConfig.default()
 
 
 class TestLinkParams:
@@ -36,7 +52,7 @@ class TestLinkParams:
 
 class TestTopology:
     def test_summit_shape(self):
-        cfg = summit(nodes=4)
+        cfg = MachineConfig.summit(nodes=4)
         t = cfg.topology
         assert t.nodes == 4
         assert t.gpus_per_node == 6
@@ -50,20 +66,51 @@ class TestTopology:
         assert t.device_mem.bandwidth > t.nvlink.bandwidth
 
     def test_configs_frozen(self):
-        cfg = summit()
+        cfg = MachineConfig.summit()
         with pytest.raises(FrozenInstanceError):
             cfg.trace = True
 
     def test_with_nodes(self):
-        assert summit(nodes=2).with_nodes(16).topology.nodes == 16
+        assert MachineConfig.summit(nodes=2).with_nodes(16).topology.nodes == 16
+
+    def test_with_nodes_validates(self):
+        with pytest.raises(ValueError):
+            MachineConfig.summit().with_nodes(0)
+        with pytest.raises(ValueError):
+            MachineConfig.summit().with_nodes(-2)
 
     def test_without_gdrcopy(self):
-        assert summit().ucx.gdrcopy_enabled
-        assert not summit().without_gdrcopy().ucx.gdrcopy_enabled
+        assert MachineConfig.summit().ucx.gdrcopy_enabled
+        assert not MachineConfig.summit().without_gdrcopy().ucx.gdrcopy_enabled
+
+    def test_with_trace(self):
+        assert not MachineConfig.summit().trace
+        assert MachineConfig.summit().with_trace().trace
+        assert not MachineConfig.summit().with_trace(True).with_trace(False).trace
 
     def test_summit_overrides(self):
-        cfg = summit(nodes=1, trace=True, seed=7)
+        cfg = MachineConfig.summit(nodes=1, trace=True, seed=7)
         assert cfg.trace and cfg.seed == 7
+
+    def test_summit_rejects_unknown_overrides(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig override"):
+            MachineConfig.summit(nodes=1, tracing=True)
+
+    def test_with_overrides_validates(self):
+        cfg = MachineConfig.summit().with_overrides(seed=9)
+        assert cfg.seed == 9
+        with pytest.raises(ValueError, match="valid fields"):
+            MachineConfig.summit().with_overrides(sede=9)
+
+    def test_with_ucx_and_runtime_validate(self):
+        cfg = MachineConfig.summit().with_ucx(gdrcopy_enabled=False)
+        assert not cfg.ucx.gdrcopy_enabled
+        with pytest.raises(ValueError):
+            MachineConfig.summit().with_ucx(gdrcopy=False)
+        cfg = MachineConfig.summit().with_runtime(ampi_send_overhead=1e-6)
+        assert cfg.runtime.ampi_send_overhead == 1e-6
+        with pytest.raises(ValueError):
+            MachineConfig.summit().with_runtime(nope=1.0)
 
 
 class TestTagConfigValidation:
@@ -83,24 +130,24 @@ class TestUnits:
 
 class TestUcxDefaults:
     def test_thresholds_sane(self):
-        u = summit().ucx
+        u = MachineConfig.summit().ucx
         assert 0 < u.device_eager_threshold < u.host_rndv_threshold
         assert u.pipeline_chunk >= 64 * KB
         assert u.pipeline_num_stages >= 2
 
     def test_runtime_overheads_positive(self):
-        rt = summit().runtime
+        rt = MachineConfig.summit().runtime
         for name in ("scheduler_pickup_overhead", "entry_dispatch_overhead",
                      "ampi_send_overhead", "py_call_overhead",
                      "charm_send_overhead", "ompi_send_overhead"):
             assert getattr(rt, name) > 0
 
     def test_ampi_overheads_exceed_openmpi(self):
-        rt = summit().runtime
+        rt = MachineConfig.summit().runtime
         assert rt.ampi_send_overhead > rt.ompi_send_overhead
         assert rt.ampi_recv_overhead > rt.ompi_recv_overhead
 
     def test_replace_produces_new_config(self):
-        cfg = summit()
+        cfg = MachineConfig.summit()
         cfg2 = replace(cfg, ucx=replace(cfg.ucx, gdrcopy_enabled=False))
         assert cfg.ucx.gdrcopy_enabled and not cfg2.ucx.gdrcopy_enabled

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import summit
+from repro.config import MachineConfig
 from repro.converse.cmi import Converse
 from repro.converse.message import CmiMessage
 from repro.core.device_buffer import (
@@ -17,7 +17,7 @@ from repro.sim.primitives import Timeout
 
 
 def make_stack(nodes=1, n_pes=None):
-    m = Machine(summit(nodes=nodes))
+    m = Machine(MachineConfig.summit(nodes=nodes))
     n = n_pes if n_pes is not None else m.cfg.topology.total_gpus
     pe_node = [m.node_of_gpu(g) for g in range(n)]
     pe_gpu = list(range(n))
@@ -89,11 +89,11 @@ class TestConverse:
         assert log == ["start", "end"]
 
     def test_wire_size_includes_headers_and_metadata(self):
-        rt = summit().runtime
+        rt = MachineConfig.summit().runtime
         msg = CmiMessage("h", None, host_bytes=100, src_pe=0, dst_pe=1)
         base = msg.wire_size(rt.converse_header_bytes, rt.device_metadata_bytes)
         assert base == 100 + rt.converse_header_bytes
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         buf = m.alloc_device(0, 64)
         msg.device_bufs.append(CmiDeviceBuffer(ptr=buf, size=64))
         assert msg.wire_size(rt.converse_header_bytes, rt.device_metadata_bytes) == (
@@ -173,23 +173,23 @@ class TestMachineLayer:
 
 class TestDeviceBufferValidation:
     def test_cmi_device_buffer_host_rejected(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         with pytest.raises(ValueError):
             CmiDeviceBuffer(ptr=m.alloc_host(0, 64), size=64)
 
     def test_size_exceeding_buffer_rejected(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         with pytest.raises(ValueError):
             CmiDeviceBuffer(ptr=m.alloc_device(0, 64), size=128)
 
     def test_rdma_op_dest_must_be_device(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         with pytest.raises(ValueError):
             DeviceRdmaOp(dest=m.alloc_host(0, 64), size=64, tag=1,
                          recv_type=DeviceRecvType.CHARM)
 
     def test_rdma_op_size_bounds(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         with pytest.raises(ValueError):
             DeviceRdmaOp(dest=m.alloc_device(0, 64), size=128, tag=1,
                          recv_type=DeviceRecvType.CHARM)

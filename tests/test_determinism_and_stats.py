@@ -8,12 +8,12 @@ from hypothesis import strategies as st
 from repro.apps.jacobi3d.charm_impl import run_charm_jacobi
 from repro.apps.jacobi3d.decomposition import Decomposition
 from repro.charm import Charm, Chare, CkCallback
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 class TestDeterminism:
     def test_jacobi_run_reproducible(self):
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
 
         def run():
@@ -24,7 +24,7 @@ class TestDeterminism:
 
     def test_event_counts_reproducible(self):
         def run():
-            charm = Charm(summit(nodes=2))
+            charm = Charm(MachineConfig.summit(nodes=2))
             from repro.ampi import Ampi
 
             ampi = Ampi(charm)
@@ -52,7 +52,7 @@ class TestLinkStatistics:
         from repro.apps.jacobi3d.charm_impl import JacobiBlock
         from repro.apps.jacobi3d.common import ResultCollector
 
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((48, 48, 48), 6)
         # every face actually exchanged is >= the device eager threshold
         exchanged = {d for r in range(decomp.n_blocks) for d, _ in decomp.neighbors(r)}
@@ -80,7 +80,7 @@ class TestLinkStatistics:
         from repro.apps.jacobi3d.charm_impl import JacobiBlock
         from repro.apps.jacobi3d.common import ResultCollector
 
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((24, 24, 24), 6)  # faces < 4 KB
         charm = _Charm(cfg)
         collector = ResultCollector(charm.sim, decomp.n_blocks, warmup=0)
@@ -102,7 +102,7 @@ class TestLinkStatistics:
             def work(self):
                 self.charm.charge_current_pe(1e-5)
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         p = charm.create_chare(Busy, 0)
         p.work()
         charm.run()
@@ -122,7 +122,7 @@ def test_reduction_sum_matches_numpy(values):
         def go(self, v, cb):
             self.charm.reductions.contribute(self, v, "sum", cb)
 
-    charm = Charm(summit(nodes=2))
+    charm = Charm(MachineConfig.summit(nodes=2))
     results = []
     g = charm.create_group(W)
     cb = CkCallback(fn=results.append)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.ampi import Ampi
 from repro.charm import Charm, Chare
-from repro.config import KB, summit
+from repro.config import KB, MachineConfig
 from repro.hardware.topology import Machine
 from repro.ucx.context import UcpContext
 from repro.ucx.status import UcsStatus
@@ -14,7 +14,7 @@ from repro.ucx.stream import StreamChannel, stream_pair
 
 
 def make_workers(nodes=1):
-    m = Machine(summit(nodes=nodes))
+    m = Machine(MachineConfig.summit(nodes=nodes))
     ctx = UcpContext(m)
     wa = ctx.create_worker(0, 0, 0)
     wb = ctx.create_worker(1, 0, 0)
@@ -104,7 +104,7 @@ class TestProbeCancel:
 
 class TestDeviceCollectives:
     def _run(self, program, nodes=2):
-        charm = Charm(summit(nodes=nodes))
+        charm = Charm(MachineConfig.summit(nodes=nodes))
         ampi = Ampi(charm)
         done = ampi.launch(program)
         charm.run_until(done, max_events=10_000_000)
@@ -176,7 +176,7 @@ class TestIprobeAndCommSplit:
                 out["miss"] = mpi.iprobe(src=0, tag=7)[0]
                 yield mpi.recv(buf, 8, src=0, tag=42)
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         ampi = Ampi(charm)
         charm.run_until(ampi.launch(program), max_events=5_000_000)
         assert out == {"flag": True, "tag": 42, "miss": False}
@@ -199,7 +199,7 @@ class TestIprobeAndCommSplit:
             # the world rank we heard from has the same parity
             assert int(rbuf.data[0]) % 2 == mpi.rank % 2
 
-        charm = Charm(summit(nodes=2))
+        charm = Charm(MachineConfig.summit(nodes=2))
         ampi = Ampi(charm)
         charm.run_until(ampi.launch(program), max_events=20_000_000)
         evens = [r for r in out if r % 2 == 0]
@@ -231,7 +231,7 @@ class TestIprobeAndCommSplit:
                 out["sub"] = int(subb.data[0])
                 out["world"] = int(world.data[0])
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         ampi = Ampi(charm)
         charm.run_until(ampi.launch(program), max_events=20_000_000)
         assert out == {"sub": 2, "world": 1}
@@ -246,7 +246,7 @@ class TestLoadBalancing:
             self.charm.charge_current_pe(cost)
 
     def test_greedy_rebalance_spreads_load(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         # 12 chares all piled onto PE 0 with varying loads
         arr = charm.create_array(self.Worker, 12, mapping=lambda i: 0)
         for i in range(12):
@@ -258,7 +258,7 @@ class TestLoadBalancing:
         assert len(pes) == charm.n_pes  # spread over every PE
 
     def test_rebalance_balances_measured_load(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         arr = charm.create_array(self.Worker, 12, mapping=lambda i: i % 2)
         for i in range(12):
             arr[i].spin(1e-6)
@@ -271,7 +271,7 @@ class TestLoadBalancing:
         assert max(loads.values()) <= 2 * (sum(loads.values()) / charm.n_pes) + 1e-12
 
     def test_groups_do_not_migrate(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         g = charm.create_group(self.Worker)
         charm.rebalance_greedy()
         for pe in range(charm.n_pes):
@@ -290,7 +290,7 @@ class TestLoadBalancing:
             def note(self):
                 log.append(self.pe)
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         arr = charm.create_array(Logger, 6, mapping=lambda i: 0)
         for i in range(6):
             arr[i].spin(1e-6)

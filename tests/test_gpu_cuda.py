@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import MB, summit
+from repro.config import MachineConfig, MB
 from repro.hardware.cuda import CudaRuntime
 from repro.hardware.gpu import Kernel
 from repro.hardware.topology import Machine
@@ -11,7 +11,7 @@ from repro.hardware.topology import Machine
 
 @pytest.fixture
 def rt():
-    return CudaRuntime(Machine(summit(nodes=1)))
+    return CudaRuntime(Machine(MachineConfig.summit(nodes=1)))
 
 
 class TestStreams:
@@ -159,7 +159,7 @@ class TestGdrCopy:
     def test_copy_time_and_data(self):
         from repro.hardware.gdrcopy import GdrCopy
 
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         g = GdrCopy(m.sim, m.cfg.ucx)
         src = m.alloc_device(0, 64)
         dst = m.alloc_host(0, 64)
@@ -173,7 +173,7 @@ class TestGdrCopy:
     def test_disabled_raises(self):
         from repro.hardware.gdrcopy import GdrCopy
 
-        m = Machine(summit(nodes=1).without_gdrcopy())
+        m = Machine(MachineConfig.summit(nodes=1).without_gdrcopy())
         g = GdrCopy(m.sim, m.cfg.ucx)
         assert not g.available
         with pytest.raises(RuntimeError):

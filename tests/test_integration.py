@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.jacobi3d.driver import run_jacobi
 from repro.apps.osu import run_latency
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 
 
 class TestModelConsistency:
@@ -19,7 +19,7 @@ class TestModelConsistency:
         )
         import numpy as np
 
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         a = run_ampi_jacobi(cfg, decomp, True, iters=2, warmup=0, functional=True)
         o = run_openmpi_jacobi(cfg, decomp, True, iters=2, warmup=0, functional=True)
@@ -91,10 +91,10 @@ class TestConfigurationAblations:
         assert all(v > 0 for v in r.values())
 
     def test_without_gdrcopy_hurts_small_device_latency(self):
-        base = run_latency("charm", 64, "intra", True, summit(nodes=2),
+        base = run_latency("charm", 64, "intra", True, MachineConfig.summit(nodes=2),
                            iters=5, skip=1)
         nogdr = run_latency("charm", 64, "intra", True,
-                            summit(nodes=2).without_gdrcopy(), iters=5, skip=1)
+                            MachineConfig.summit(nodes=2).without_gdrcopy(), iters=5, skip=1)
         assert nogdr > 2 * base
 
     def test_custom_tag_split_works_end_to_end(self):
@@ -102,7 +102,7 @@ class TestConfigurationAblations:
 
         from repro.config import TagConfig
 
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         cfg = replace(cfg, tags=TagConfig(msg_bits=4, pe_bits=16, cnt_bits=44))
         lat = run_latency("charm", 1024, "intra", True, cfg, iters=3, skip=1)
         assert lat > 0

@@ -17,7 +17,7 @@ from repro.apps.jacobi3d.decomposition import (
 )
 from repro.apps.jacobi3d.kernels import jacobi_reference_step
 from repro.apps.jacobi3d.mpi_impl import run_ampi_jacobi, run_openmpi_jacobi
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 class TestDecomposition:
@@ -113,7 +113,7 @@ class TestFunctionalCorrectness:
     @pytest.mark.parametrize("gpu_aware", [True, False])
     def test_matches_reference(self, model, gpu_aware):
         domain = (12, 12, 12)
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create(domain, 6)
         col = RUNNERS[model](cfg, decomp, gpu_aware=gpu_aware, iters=3, warmup=0,
                              functional=True)
@@ -123,7 +123,7 @@ class TestFunctionalCorrectness:
 
     def test_two_node_decomposition_correct(self):
         domain = (24, 12, 12)
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         decomp = Decomposition.create(domain, 12)
         col = run_charm_jacobi(cfg, decomp, gpu_aware=True, iters=2, warmup=0,
                                functional=True)
@@ -131,7 +131,7 @@ class TestFunctionalCorrectness:
 
     def test_overdecomposition_correct(self):
         domain = (24, 12, 12)
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create(domain, 12)  # 2 blocks per PE
         col = run_charm_jacobi(cfg, decomp, gpu_aware=True, iters=2, warmup=0,
                                functional=True, blocks_per_pe=2)
@@ -140,7 +140,7 @@ class TestFunctionalCorrectness:
 
 class TestTimingCollection:
     def test_timings_populated_and_positive(self):
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         col = run_charm_jacobi(cfg, decomp, gpu_aware=True, iters=4, warmup=1,
                                functional=False)
@@ -148,7 +148,7 @@ class TestTimingCollection:
         assert 0 < col.avg_comm_time() < col.avg_iter_time()
 
     def test_block_count_mismatch_rejected(self):
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 12)
         with pytest.raises(ValueError):
             run_charm_jacobi(cfg, decomp, gpu_aware=True)

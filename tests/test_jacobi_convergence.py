@@ -12,14 +12,14 @@ import pytest
 
 from repro.apps.jacobi3d.charm_impl import run_charm_jacobi
 from repro.apps.jacobi3d.decomposition import Decomposition
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 class TestConvergence:
     def test_terminates_early_with_loose_tolerance(self):
         """With zero boundary conditions the field decays toward 0; a loose
         tolerance must stop the run before the iteration cap."""
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         col = run_charm_jacobi(
             cfg, decomp, gpu_aware=True, iters=200, warmup=0, functional=True,
@@ -30,7 +30,7 @@ class TestConvergence:
         assert n_iters % 5 == 0  # stops only at check iterations
 
     def test_all_blocks_stop_at_the_same_iteration(self):
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         col = run_charm_jacobi(
             cfg, decomp, gpu_aware=True, iters=100, warmup=0, functional=True,
@@ -42,7 +42,7 @@ class TestConvergence:
     def test_residual_decreases_between_checks(self):
         """Run twice with tight/loose tolerance: the tighter run needs at
         least as many iterations (residual is monotone here)."""
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         loose = run_charm_jacobi(
             cfg, decomp, gpu_aware=True, iters=300, warmup=0, functional=True,
@@ -58,7 +58,7 @@ class TestConvergence:
         from repro.apps.jacobi3d.common import initial_field
         from repro.apps.jacobi3d.kernels import jacobi_reference_step
 
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         domain = (12, 12, 12)
         decomp = Decomposition.create(domain, 6)
         col = run_charm_jacobi(
@@ -75,7 +75,7 @@ class TestConvergence:
     def test_unchecked_run_unaffected(self):
         """check_interval=0 (the paper's configuration) is the default and
         runs exactly ``iters`` iterations."""
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((12, 12, 12), 6)
         col = run_charm_jacobi(cfg, decomp, gpu_aware=True, iters=7, warmup=0,
                                functional=True)
@@ -84,7 +84,7 @@ class TestConvergence:
     def test_convergence_check_costs_time(self):
         """The residual kernel + reduction + broadcast add measurable time
         per checked iteration (why the paper leaves them out)."""
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         decomp = Decomposition.create((48, 48, 48), 6)
         plain = run_charm_jacobi(cfg, decomp, gpu_aware=True, iters=6, warmup=1,
                                  functional=False)

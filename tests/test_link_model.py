@@ -3,7 +3,7 @@ rendezvous occupancy."""
 
 import pytest
 
-from repro.config import MB, summit
+from repro.config import MachineConfig, MB
 from repro.hardware.links import CTRL_BYPASS_BYTES, path_transfer, path_transfer_time
 from repro.hardware.topology import Machine
 from repro.ucx.context import UcpContext
@@ -11,7 +11,7 @@ from repro.ucx.context import UcpContext
 
 @pytest.fixture
 def machine():
-    return Machine(summit(nodes=2))
+    return Machine(MachineConfig.summit(nodes=2))
 
 
 class TestControlBypass:
@@ -76,7 +76,7 @@ class TestPipelinedOccupancy:
     def test_gpudirect_route_does_hold_nvlinks(self):
         from dataclasses import replace
 
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         cfg = replace(cfg, ucx=replace(cfg.ucx, gpudirect_rdma=True))
         machine = Machine(cfg)
         ctx = UcpContext(machine)

@@ -25,7 +25,7 @@ from repro.ampi.matching import (
     MatchEngine,
     PostedMpiRecv,
 )
-from repro.config import RuntimeConfig, summit
+from repro.config import MachineConfig, RuntimeConfig
 from repro.hardware.memory import DeviceAllocator, host_buffer
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
@@ -147,7 +147,7 @@ class TestUcxQueueIdentity:
         from repro.hardware.topology import Machine
         from repro.ucx.context import UcpContext
 
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         ctx = UcpContext(m)
         wa = ctx.create_worker(0, 0)
         wb = ctx.create_worker(1, 0)
@@ -201,7 +201,7 @@ class TestGpuPointerCacheInvalidation:
         from repro.ampi import Ampi
         from repro.charm import Charm
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         ampi = Ampi(charm)
         buf = charm.cuda.malloc(0, 256)
         assert ampi.gpu_caches[0].check(buf)[0] is True
@@ -228,16 +228,23 @@ class TestGpuPointerCacheInvalidation:
 # ---------------------------------------------------------------------------
 
 class TestSpanStack:
+    """The deprecated span_begin/span_end shim must keep the seed's exact
+    accounting semantics (these are the regressions it was fixed for)."""
+
     def test_nested_same_key_spans_account_both(self):
         """Opening the same (category, key) span re-entrantly must not lose
         the outer span's time (the seed overwrote the start timestamp)."""
+        from repro.obs.tracing import reset_deprecation_warnings
+
         sim = Simulator()
         t = Tracer(sim)
-        t.span_begin("ampi", key=1)  # outer opens at 0
-        sim.schedule(1.0, t.span_begin, "ampi", 1)  # inner opens at 1
-        sim.schedule(3.0, lambda: None)
-        sim.run()
-        assert t.span_end("ampi", key=1) == pytest.approx(2.0)  # inner: 1..3
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            t.span_begin("ampi", key=1)  # outer opens at 0
+            sim.schedule(1.0, t.span_begin, "ampi", 1)  # inner opens at 1
+            sim.schedule(3.0, lambda: None)
+            sim.run()
+            assert t.span_end("ampi", key=1) == pytest.approx(2.0)  # inner: 1..3
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert t.span_end("ampi", key=1) == pytest.approx(5.0)  # outer: 0..5
@@ -246,13 +253,17 @@ class TestSpanStack:
         assert t.span_end("ampi", key=1) == 0.0
 
     def test_distinct_keys_remain_independent(self):
+        from repro.obs.tracing import reset_deprecation_warnings
+
         sim = Simulator()
         t = Tracer(sim)
-        t.span_begin("ucx", key="a")
-        sim.schedule(4.0, t.span_end, "ucx", "b")  # never opened: 0
-        sim.run()
-        assert t.time_in("ucx") == 0.0
-        assert t.span_end("ucx", key="a") == pytest.approx(4.0)
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            t.span_begin("ucx", key="a")
+            sim.schedule(4.0, t.span_end, "ucx", "b")  # never opened: 0
+            sim.run()
+            assert t.time_in("ucx") == 0.0
+            assert t.span_end("ucx", key="a") == pytest.approx(4.0)
 
 
 # ---------------------------------------------------------------------------

@@ -15,7 +15,7 @@ import pytest
 
 from repro.ampi import Ampi
 from repro.charm import Charm
-from repro.config import summit
+from repro.config import MachineConfig
 from repro.openmpi import OpenMpi
 
 ANY = -1  # MPI_ANY_SOURCE / MPI_ANY_TAG in both layers
@@ -56,7 +56,7 @@ def make_plan(seed, n_msgs, device_fraction=0.25):
 
 
 def _config(indexed):
-    cfg = summit(nodes=NODES)
+    cfg = MachineConfig.summit(nodes=NODES)
     return dataclasses.replace(
         cfg,
         ucx=dataclasses.replace(cfg.ucx, indexed_matching=indexed),

@@ -5,7 +5,7 @@ import pytest
 
 from repro.charm import Charm, CkDeviceBuffer
 from repro.charm4py import Charm4py, PyChare
-from repro.config import KB, summit
+from repro.config import KB, MachineConfig
 from repro.hardware.topology import Machine
 from repro.ucx.context import UcpContext
 from repro.ucx.request import RequestKind, UcxRequest
@@ -14,7 +14,7 @@ from repro.ucx.status import UcsStatus
 
 class TestWorkerStats:
     def test_send_recv_counters_and_endpoint_accounting(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         ctx = UcpContext(m)
         wa = ctx.create_worker(0, 0)
         wb = ctx.create_worker(1, 0)
@@ -28,7 +28,7 @@ class TestWorkerStats:
         assert not ep.is_loopback and ep.same_node
 
     def test_worker_registry(self):
-        m = Machine(summit(nodes=2))
+        m = Machine(MachineConfig.summit(nodes=2))
         ctx = UcpContext(m)
         w = ctx.create_worker(3, 1)
         assert ctx.worker(3) is w
@@ -59,14 +59,14 @@ class TestRequestObject:
 
 class TestPeHelpers:
     def test_work_event_duration(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         pe = charm.pe_object(0)
         ev = pe.work(5e-6)
         charm.run()
         assert ev.triggered and charm.time == pytest.approx(5e-6)
 
     def test_negative_charge_rejected(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         with pytest.raises(ValueError):
             charm.pe_object(0).charge(-1.0)
 
@@ -80,7 +80,7 @@ class TestPeHelpers:
             def hit(self):
                 pass
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         p = charm.create_chare(Nop, 2)
         for _ in range(3):
             p.hit()
@@ -109,7 +109,7 @@ class TestTracing:
             def go(self, peer):
                 peer.take(CkDeviceBuffer.wrap(self.buf))
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         s = charm.create_chare(Send, 0)
         r = charm.create_chare(Recv, 1)
         s.go(r)
@@ -145,7 +145,7 @@ class TestCharm4pyDeviceEntryParams:
             def go(self, peer):
                 peer.take(CkDeviceBuffer.wrap(self.buf))
 
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         s = c4p.create_chare(PySend, 0)
         r = c4p.create_chare(PyRecv, 3)
         s.go(r)
@@ -179,11 +179,11 @@ class TestCharm4pyDeviceEntryParams:
                     peer.take(CkDeviceBuffer.wrap(self.buf))
 
             if py:
-                rt = Charm4py(summit(nodes=1))
+                rt = Charm4py(MachineConfig.summit(nodes=1))
                 s, r = rt.create_chare(S, 0), rt.create_chare(R, 1)
                 charm = rt.charm
             else:
-                charm = Charm(summit(nodes=1))
+                charm = Charm(MachineConfig.summit(nodes=1))
                 s, r = charm.create_chare(S, 0), charm.create_chare(R, 1)
             s.go(r)
             charm.run()
@@ -194,7 +194,7 @@ class TestCharm4pyDeviceEntryParams:
 
 class TestEndpointLoopback:
     def test_loopback_tagged_send(self):
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         ctx = UcpContext(m)
         w = ctx.create_worker(0, 0)
         src, dst = m.alloc_host(0, 32), m.alloc_host(0, 32)

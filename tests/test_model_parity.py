@@ -6,7 +6,7 @@ import pytest
 from repro.ampi import Ampi
 from repro.charm import Charm, CkCallback, CkDeviceBuffer
 from repro.charm4py import Charm4py, PyChare
-from repro.config import KB, summit
+from repro.config import KB, MachineConfig
 
 
 class TestCharm4pyReductions:
@@ -20,7 +20,7 @@ class TestCharm4pyReductions:
             self.charm.reductions.contribute(self, value, "sum", cb)
 
     def test_group_reduction_through_pychares(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         results = []
         g = c4p.create_group(self.Elem, results)
         cb = CkCallback(fn=results.append)
@@ -30,7 +30,7 @@ class TestCharm4pyReductions:
         assert results == [sum(range(1, c4p.charm.n_pes + 1))]
 
     def test_pychare_migration(self):
-        c4p = Charm4py(summit(nodes=1))
+        c4p = Charm4py(MachineConfig.summit(nodes=1))
         p = c4p.create_chare(self.Elem, 0, [])
         obj = c4p.charm.chares[p.chare_id]
         obj.migrate(4)
@@ -71,7 +71,7 @@ class TestDataIntegrityParity:
             def go(self, peer):
                 peer.take(CkDeviceBuffer.wrap(self.buf))
 
-        charm = Charm(summit(nodes=2))
+        charm = Charm(MachineConfig.summit(nodes=2))
         tx = charm.create_chare(Tx, 0, payload)
         rx = charm.create_chare(Rx, 9)
         tx.go(rx)
@@ -94,13 +94,13 @@ class TestDataIntegrityParity:
                 got["data"] = buf.data.copy()
 
         if lib == "ampi":
-            charm = Charm(summit(nodes=2))
+            charm = Charm(MachineConfig.summit(nodes=2))
             a = Ampi(charm)
             charm.run_until(a.launch(program), max_events=5_000_000)
         else:
             from repro.openmpi import OpenMpi
 
-            o = OpenMpi(summit(nodes=2))
+            o = OpenMpi(MachineConfig.summit(nodes=2))
             o.run_until(o.launch(program), max_events=5_000_000)
         assert (got["data"] == payload).all()
 
@@ -122,7 +122,7 @@ class TestDataIntegrityParity:
                     yield ch.recv(self.buf, size)
                     got["data"] = self.buf.data.copy()
 
-        c4p = Charm4py(summit(nodes=2))
+        c4p = Charm4py(MachineConfig.summit(nodes=2))
         arr = c4p.create_array(Pair, 2, mapping=lambda i: (0, 9)[i])
         arr[0].run(arr[1])
         arr[1].run(arr[0])
@@ -134,14 +134,14 @@ class TestCapacityAndErrors:
     def test_gpu_oom_through_charm_allocation(self):
         from repro.hardware.memory import OutOfMemory
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         cap = charm.cfg.topology.gpu_memory_capacity
         charm.cuda.malloc(0, cap - 100, materialize=False)
         with pytest.raises(OutOfMemory):
             charm.cuda.malloc(0, 4096, materialize=False)
 
     def test_free_returns_capacity_to_jacobi_scale(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         cap = charm.cfg.topology.gpu_memory_capacity
         big = charm.cuda.malloc(0, cap // 2, materialize=False)
         charm.cuda.free(big)
@@ -155,7 +155,7 @@ class TestCapacityAndErrors:
         from repro.hardware.cuda import CudaRuntime
         from repro.hardware.topology import Machine
 
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         cuda = CudaRuntime(m)
         decomp = Decomposition.create((1536, 1536, 1536), 6)
         BlockState(cuda, 0, decomp, 0, functional=False)  # must not OOM

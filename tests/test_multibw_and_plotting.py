@@ -5,7 +5,7 @@ import pytest
 from repro.apps.osu.multibw import run_multi_pair_bandwidth
 from repro.bench.plotting import ascii_plot, plot_series_dict
 from repro.bench.reporting import Series
-from repro.config import MB, summit
+from repro.config import MachineConfig, MB
 
 
 class TestMultiPairBandwidth:
@@ -24,7 +24,7 @@ class TestMultiPairBandwidth:
     def test_single_rail_machine_does_not_scale(self):
         from dataclasses import replace
 
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         cfg = replace(cfg, topology=replace(cfg.topology, nic_rails=1))
         three = run_multi_pair_bandwidth(4 * MB, pairs=3, config=cfg)["aggregate"]
         six = run_multi_pair_bandwidth(4 * MB, pairs=6, config=cfg)["aggregate"]
@@ -84,7 +84,7 @@ class TestQuiescence:
                     for i in range(len(peers)):
                         peers[i].go(peers, depth - 1) if i == self.thisIndex else None
 
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         hits = []
         g = charm.create_group(Fanout, hits)
         g.go(g, 2)

@@ -1,0 +1,95 @@
+"""Golden comparison: tracing on must be *bit-identical* to tracing off.
+
+The observability layer is observation-only — spans, charges, and
+histograms never call ``sim.schedule``, never change a modeled delay, and
+counters are incremented identically in both modes.  These tests run the
+same deterministic workloads with ``trace=True`` and ``trace=False`` and
+compare full simulation fingerprints (clocks, event counts, payloads,
+counters), in the style of ``tests/test_matching_golden.py``.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.apps.osu.runner import run_bandwidth, run_latency
+from repro.config import MachineConfig
+from tests.test_matching_golden import _make_program, make_plan
+
+
+def _config(trace):
+    return MachineConfig.summit(nodes=2).with_trace(trace)
+
+
+# ---------------------------------------------------------------------------
+# mixed matching workload (host + device, exact + wildcard receives)
+# ---------------------------------------------------------------------------
+
+def _run_mixed(model, plan, trace):
+    sess = api.session(_config(trace)).model(model).build()
+    payloads, finish = {}, {}
+    done = sess.launch(_make_program(plan, sess.sim, payloads, finish))
+    sess.run_until(done, max_events=50_000_000)
+    return {
+        "payloads": payloads,
+        "finish_times": finish,
+        "now": sess.now,
+        "event_count": sess.sim.event_count,
+        "counters": dict(sess.counters),
+    }
+
+
+@pytest.mark.parametrize("model,seed", [("openmpi", 0), ("openmpi", 2), ("ampi", 1)])
+def test_mixed_workload_fingerprint(model, seed):
+    plan = make_plan(seed, n_msgs=50)
+    off = _run_mixed(model, plan, trace=False)
+    on = _run_mixed(model, plan, trace=True)
+    assert on == off
+    assert len(off["payloads"]) == 50
+
+
+# ---------------------------------------------------------------------------
+# OSU microbenchmarks across all four models
+# ---------------------------------------------------------------------------
+
+def _latency_fingerprint(model, trace, size, placement):
+    sess = api.session(_config(trace)).model(model).build()
+    lat = run_latency(model, size, placement, True, session=sess, iters=6, skip=2)
+    return {
+        "latency": lat,
+        "now": sess.now,
+        "event_count": sess.sim.event_count,
+        "counters": dict(sess.counters),
+    }
+
+
+@pytest.mark.parametrize("model", ["charm", "ampi", "openmpi", "charm4py"])
+@pytest.mark.parametrize("placement,size", [("intra", 8), ("inter", 256 * 1024)])
+def test_osu_latency_fingerprint(model, placement, size):
+    off = _latency_fingerprint(model, False, size, placement)
+    on = _latency_fingerprint(model, True, size, placement)
+    assert on == off
+    assert off["latency"] > 0
+
+    # tracing actually produced a span tree on the traced run
+    sess = api.session(_config(True)).model(model).build()
+    run_latency(model, size, placement, True, session=sess, iters=6, skip=2)
+    assert sess.tracer.spans
+    assert any(s.parent_sid >= 0 for s in sess.tracer.spans)
+
+
+@pytest.mark.parametrize("model", ["ampi", "charm4py"])
+def test_osu_bandwidth_fingerprint(model):
+    def fp(trace):
+        sess = api.session(_config(trace)).model(model).build()
+        bw = run_bandwidth(model, 64 * 1024, "inter", True, session=sess,
+                           loops=2, skip=1, window=8)
+        return {
+            "bw": bw,
+            "now": sess.now,
+            "event_count": sess.sim.event_count,
+            "counters": dict(sess.counters),
+        }
+
+    off, on = fp(False), fp(True)
+    assert on == off
+    assert off["bw"] > 0

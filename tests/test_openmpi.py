@@ -4,13 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 from repro.openmpi import ANY_SOURCE, ANY_TAG, OpenMpi
 from repro.openmpi.mpi import decode_mpi_tag, encode_mpi_tag, match_mask
 
 
 def run_ranks(program, nodes=2):
-    lib = OpenMpi(summit(nodes=nodes))
+    lib = OpenMpi(MachineConfig.summit(nodes=nodes))
     done = lib.launch(program)
     lib.run_until(done, max_events=5_000_000)
     return lib
@@ -160,4 +160,4 @@ class TestStructuralAdvantage:
 
     def test_rank_count_bounded_by_gpus(self):
         with pytest.raises(ValueError):
-            OpenMpi(summit(nodes=1), n_ranks=7)
+            OpenMpi(MachineConfig.summit(nodes=1), n_ranks=7)

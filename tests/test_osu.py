@@ -10,7 +10,7 @@ from repro.apps.osu import (
     run_bandwidth,
     run_latency,
 )
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 
 
 class TestRunners:
@@ -38,7 +38,7 @@ class TestRunners:
         assert all(b == 2 * a for a, b in zip(OSU_SIZES, OSU_SIZES[1:]))
 
     def test_gpu_pairs(self):
-        cfg = summit(nodes=2)
+        cfg = MachineConfig.summit(nodes=2)
         a, b = intra_node_pair(cfg)
         assert a // 6 == b // 6
         a, b = inter_node_pair(cfg)

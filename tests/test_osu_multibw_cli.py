@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.osu import run_bandwidth, run_latency, run_bandwidth_sweep, run_latency_sweep
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 
 
 class TestSweeps:
@@ -25,12 +25,12 @@ class TestSweeps:
 
         from repro.config import GB, LinkParams
 
-        slow = summit(nodes=2)
+        slow = MachineConfig.summit(nodes=2)
         slow = replace(
             slow,
             topology=replace(slow.topology, nic=LinkParams(0.8e-6, 1 * GB)),
         )
-        fast = run_latency("charm", 1 * MB, "inter", True, summit(nodes=2),
+        fast = run_latency("charm", 1 * MB, "inter", True, MachineConfig.summit(nodes=2),
                            iters=3, skip=1)
         slower = run_latency("charm", 1 * MB, "inter", True, slow, iters=3, skip=1)
         assert slower > 3 * fast
@@ -61,7 +61,7 @@ class TestPlacementContrast:
         """X-Bus adds latency for socket-crossing pairs."""
         from repro.apps.osu.latency import charm_latency
 
-        cfg = summit(nodes=1)
+        cfg = MachineConfig.summit(nodes=1)
         same = charm_latency(cfg, 1 * MB, (0, 1), True, iters=4, skip=1)
         cross = charm_latency(cfg, 1 * MB, (0, 4), True, iters=4, skip=1)
         assert cross >= same

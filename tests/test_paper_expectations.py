@@ -32,9 +32,9 @@ class TestPaperData:
 
     def test_setup_constants_match_config(self):
         """The hardware model must encode the paper's §IV-A machine."""
-        from repro.config import summit
+        from repro.config import MachineConfig
 
-        topo = summit().topology
+        topo = MachineConfig.summit().topology
         assert topo.gpus_per_node == paper.SETUP["gpus_per_node"]
         # modelled link rates are effective rates below the theoretical
         # peaks the paper quotes

@@ -134,10 +134,10 @@ def test_matching_engine_agrees_with_oracle(ops):
 )
 @settings(max_examples=100)
 def test_pipeline_bandwidth_monotone(a, b):
-    from repro.config import summit
+    from repro.config import MachineConfig
     from repro.ucx.protocols.pipeline import pipeline_effective_bandwidth
 
-    cfg = summit()
+    cfg = MachineConfig.summit()
     lo, hi = min(a, b), max(a, b)
     assert pipeline_effective_bandwidth(cfg, lo) <= (
         pipeline_effective_bandwidth(cfg, hi) * (1 + 1e-9)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.charm import Charm, Chare, CkCallback
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 class Worker(Chare):
@@ -20,7 +20,7 @@ class Worker(Chare):
 
 @pytest.fixture
 def charm():
-    return Charm(summit(nodes=2))
+    return Charm(MachineConfig.summit(nodes=2))
 
 
 def run_reduction(charm, values, op):
@@ -106,7 +106,7 @@ class TestReductionSemantics:
         assert results == [sum(range(charm.n_pes))]
 
     def test_single_pe_collection(self):
-        charm = Charm(summit(nodes=1), n_pes=1)
+        charm = Charm(MachineConfig.summit(nodes=1), n_pes=1)
         results = []
         g = charm.create_group(Worker, results)
         g[0].go(42, "sum", CkCallback(fn=results.append))

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs.tracing import reset_deprecation_warnings
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.trace import Tracer
@@ -104,16 +105,32 @@ class TestTracer:
         assert len(recs) == 1 and recs[0].time == 1.0 and recs[0].event == "entry"
 
     def test_span_accumulation(self, sim):
+        # span_begin/span_end are the deprecated pre-obs API; their
+        # accounting semantics are kept intact behind a DeprecationWarning.
         t = Tracer(sim)
-        t.span_begin("ampi", key=1)
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="span_begin"):
+            t.span_begin("ampi", key=1)
         sim.schedule(2.0, lambda: None)
         sim.run()
-        assert t.span_end("ampi", key=1) == pytest.approx(2.0)
+        with pytest.warns(DeprecationWarning, match="span_end"):
+            assert t.span_end("ampi", key=1) == pytest.approx(2.0)
         assert t.time_in("ampi") == pytest.approx(2.0)
 
     def test_span_end_without_begin_is_zero(self, sim):
         t = Tracer(sim)
-        assert t.span_end("nope") == 0.0
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            assert t.span_end("nope") == 0.0
+
+    def test_span_context_manager(self, sim):
+        """The replacement API: with-statement spans on an enabled tracer."""
+        t = Tracer(sim, enabled=True)
+        with t.span("ampi", "send", size=8) as sp:
+            sim.schedule(2.0, lambda: None)
+            sim.run()
+        assert sp.duration == pytest.approx(2.0)
+        assert t.time_in("ampi") == pytest.approx(2.0)
 
     def test_filter_by_event(self, sim):
         t = Tracer(sim, enabled=True)
@@ -124,6 +141,8 @@ class TestTracer:
     def test_reset_clears_everything(self, sim):
         t = Tracer(sim, enabled=True)
         t.emit("a", "x")
-        t.span_begin("s")
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            t.span_begin("s")
         t.reset()
         assert not t.records and not t.counters and t.time_in("s") == 0.0

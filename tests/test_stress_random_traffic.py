@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.ampi import Ampi
 from repro.charm import Charm
-from repro.config import KB, summit
+from repro.config import KB, MachineConfig
 from repro.openmpi import OpenMpi
 
 
@@ -56,12 +56,12 @@ def run_plan(lib_kind, plan, n_ranks, nodes=2):
             received[i] = int(buf.data[0])
 
     if lib_kind == "ampi":
-        charm = Charm(summit(nodes=nodes))
+        charm = Charm(MachineConfig.summit(nodes=nodes))
         lib = Ampi(charm)
         done = lib.launch(program)
         charm.run_until(done, max_events=50_000_000)
     else:
-        lib = OpenMpi(summit(nodes=nodes))
+        lib = OpenMpi(MachineConfig.summit(nodes=nodes))
         done = lib.launch(program)
         lib.run_until(done, max_events=50_000_000)
     return received
@@ -117,7 +117,7 @@ class TestUcxFuzz:
         from repro.hardware.topology import Machine
         from repro.ucx.context import UcpContext
 
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         ctx = UcpContext(m)
         wa = ctx.create_worker(0, 0)
         wb = ctx.create_worker(1, 0)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import MB, summit
+from repro.config import MachineConfig, MB
 from repro.hardware.links import (
     path_bottleneck,
     path_latency,
@@ -15,7 +15,7 @@ from repro.hardware.topology import Machine
 
 @pytest.fixture
 def machine():
-    return Machine(summit(nodes=2))
+    return Machine(MachineConfig.summit(nodes=2))
 
 
 class TestIndexing:

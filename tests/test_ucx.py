@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 from repro.hardware.topology import Machine
 from repro.ucx.context import UcpContext
 from repro.ucx.protocols.pipeline import (
@@ -15,7 +15,7 @@ from repro.ucx.status import UcsStatus, UcxError
 
 
 def make_pair(nodes=2, gpus=(0, 1), config=None):
-    cfg = config if config is not None else summit(nodes=nodes)
+    cfg = config if config is not None else MachineConfig.summit(nodes=nodes)
     m = Machine(cfg)
     ctx = UcpContext(m)
     wa = ctx.create_worker(0, m.node_of_gpu(gpus[0]), m.socket_of_gpu(gpus[0]))
@@ -186,7 +186,7 @@ class TestRendezvous:
         def run(gdr: bool):
             from dataclasses import replace
 
-            cfg = summit(nodes=2)
+            cfg = MachineConfig.summit(nodes=2)
             cfg = replace(cfg, ucx=replace(cfg.ucx, gpudirect_rdma=gdr))
             m, ctx, wa, wb = make_pair(gpus=(0, 6), config=cfg)
             src = m.alloc_device(0, size, materialize=False)
@@ -220,7 +220,7 @@ class TestEagerDevice:
             m.sim.run()
             return m.sim.now
 
-        base = summit(nodes=2)
+        base = MachineConfig.summit(nodes=2)
         with_gdr = run(base)
         without = run(base.without_gdrcopy())
         assert without > 3 * with_gdr  # the paper: detection is essential
@@ -228,19 +228,19 @@ class TestEagerDevice:
 
 class TestPipelineModel:
     def test_extra_time_zero_for_empty(self):
-        assert pipeline_extra_time(summit(), 0) == 0.0
+        assert pipeline_extra_time(MachineConfig.summit(), 0) == 0.0
 
     def test_extra_grows_with_chunks(self):
-        cfg = summit()
+        cfg = MachineConfig.summit()
         assert pipeline_extra_time(cfg, 4 * MB) > pipeline_extra_time(cfg, 1 * MB)
 
     def test_effective_bandwidth_below_nic(self):
-        cfg = summit()
+        cfg = MachineConfig.summit()
         bw = pipeline_effective_bandwidth(cfg, 4 * MB)
         assert 0 < bw < cfg.topology.nic.bandwidth
 
     def test_effective_bandwidth_monotone(self):
-        cfg = summit()
+        cfg = MachineConfig.summit()
         bws = [pipeline_effective_bandwidth(cfg, s) for s in (64 * KB, 512 * KB, 4 * MB)]
         assert bws == sorted(bws)
 

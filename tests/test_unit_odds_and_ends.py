@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.charm import Charm, Chare
-from repro.config import summit
+from repro.config import MachineConfig
 
 
 class TestJacobiKernelsUnit:
@@ -77,7 +77,7 @@ class TestProxyMechanics:
             self.log.append(self.thisIndex)
 
     def test_proxy_equality_and_hash(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         p = charm.create_chare(self.Probe, 0, [])
         obj = charm.chares[p.chare_id]
         assert obj.thisProxy == p
@@ -85,13 +85,13 @@ class TestProxyMechanics:
         assert p != object()
 
     def test_private_attribute_access_raises(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         p = charm.create_chare(self.Probe, 0, [])
         with pytest.raises(AttributeError):
             p._secret  # noqa: B018
 
     def test_collection_len_and_indexing(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         g = charm.create_group(self.Probe, [])
         assert len(g) == charm.n_pes
         assert g[0].chare_id != g[1].chare_id
@@ -99,7 +99,7 @@ class TestProxyMechanics:
 
 class TestPeDebtMechanics:
     def test_current_delay_accumulates_and_resets(self):
-        charm = Charm(summit(nodes=1))
+        charm = Charm(MachineConfig.summit(nodes=1))
         pe = charm.pe_object(0)
         assert pe.current_delay() == 0.0
         pe.charge(2e-6)
@@ -139,7 +139,7 @@ class TestDeviceEventRecord:
         from repro.hardware.gpu import DeviceEventRecord
         from repro.hardware.topology import Machine
 
-        m = Machine(summit(nodes=1))
+        m = Machine(MachineConfig.summit(nodes=1))
         rt = CudaRuntime(m)
         s = rt.create_stream(0)
         d = rt.malloc(0, 1024)

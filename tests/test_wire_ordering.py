@@ -9,13 +9,13 @@ breaks (this actually happened — caught by the randomized stress tests).
 import numpy as np
 import pytest
 
-from repro.config import KB, MB, summit
+from repro.config import KB, MachineConfig, MB
 from repro.hardware.topology import Machine
 from repro.ucx.context import UcpContext
 
 
 def make_pair(nodes=2, gpus=(0, 6)):
-    m = Machine(summit(nodes=nodes))
+    m = Machine(MachineConfig.summit(nodes=nodes))
     ctx = UcpContext(m)
     wa = ctx.create_worker(0, m.node_of_gpu(gpus[0]), m.socket_of_gpu(gpus[0]))
     wb = ctx.create_worker(1, m.node_of_gpu(gpus[1]), m.socket_of_gpu(gpus[1]))
