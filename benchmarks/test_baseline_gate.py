@@ -1,0 +1,98 @@
+"""Tier-1 gate: the perf-regression baseline must record, check clean,
+and trip on a perturbed config.
+
+Runs a reduced workload subset for speed (one eager point, one rendezvous
+point), plus one full-CLI round trip and a check of the committed
+``BENCH_baseline.json`` at the repository root.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.baseline import apply_override, main
+from repro.config import MachineConfig
+from repro.obs.baseline import (
+    DEFAULT_BASELINE_PATH,
+    check_baseline,
+    collect_baseline,
+    load_baseline,
+    save_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# one eager + one rendezvous point: fast but covers both protocol paths
+FAST_WORKLOADS = ["osu_latency_ampi_intra_8", "osu_latency_ampi_inter_64K"]
+
+
+class TestGateLibrary:
+    def test_record_then_check_clean(self, tmp_path):
+        doc = collect_baseline(workloads=FAST_WORKLOADS)
+        path = save_baseline(doc, tmp_path / "base.json")
+        report = check_baseline(load_baseline(path))
+        assert report.ok, report.format()
+        assert report.compared == len(FAST_WORKLOADS)
+
+    def test_perturbed_config_trips_gate(self, tmp_path):
+        doc = collect_baseline(workloads=FAST_WORKLOADS)
+        slow = MachineConfig.summit(nodes=2).with_runtime(
+            ampi_send_overhead=6e-6
+        )
+        report = check_baseline(doc, config=slow)
+        assert not report.ok
+        # the drift shows up in the modeled quantities, named in the report
+        assert any("latency_us" in f or "sim_time_us" in f
+                   for f in report.failures), report.format()
+
+    def test_missing_workload_reported(self):
+        doc = collect_baseline(workloads=FAST_WORKLOADS[:1])
+        doc["entries"]["osu_latency_nope_intra_8"] = {"events": 1}
+        report = check_baseline(doc)
+        assert not report.ok
+        assert any("no longer defined" in f for f in report.failures)
+
+    def test_empty_baseline_fails(self):
+        report = check_baseline({"schema": 1, "entries": {}})
+        assert not report.ok
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "entries": {}}')
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_apply_override(self):
+        cfg = MachineConfig.summit(nodes=2)
+        slow = apply_override(cfg, "runtime.ampi_send_overhead=6e-6")
+        assert slow.runtime.ampi_send_overhead == 6e-6
+        assert apply_override(cfg, "seed=9").seed == 9
+        with pytest.raises(ValueError, match="key=value"):
+            apply_override(cfg, "runtime.ampi_send_overhead")
+        with pytest.raises(ValueError, match="unknown config section"):
+            apply_override(cfg, "nope.x=1")
+
+
+class TestGateCli:
+    def test_record_check_roundtrip_and_trip(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        assert main(["record", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["check", "--baseline", str(out)]) == 0
+        assert main([
+            "check", "--baseline", str(out),
+            "--override", "runtime.ampi_send_overhead=6e-6",
+        ]) == 1
+        text = capsys.readouterr().out
+        assert "FAIL" in text
+
+
+class TestCommittedBaseline:
+    def test_repo_root_baseline_checks_clean(self):
+        path = REPO_ROOT / DEFAULT_BASELINE_PATH
+        assert path.exists(), (
+            f"{DEFAULT_BASELINE_PATH} missing at the repo root — "
+            "regenerate with: python -m repro.bench.baseline record"
+        )
+        report = check_baseline(load_baseline(path))
+        assert report.ok, report.format()

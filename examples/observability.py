@@ -8,7 +8,10 @@ observability subsystem:
 1. the hierarchical span tree (model -> machine -> UCX protocol),
 2. the metrics snapshot (counters, size/latency histograms, per-layer
    time — the input of the §IV-B1 overhead-anatomy decomposition),
-3. a Chrome-trace JSON timeline, viewable at https://ui.perfetto.dev.
+3. the flight recorder: per-message transfer lifecycles and the
+   delayed-posting cost of metadata-gated rendezvous transfers,
+4. the critical-path layer-blame report,
+5. a Chrome-trace JSON timeline, viewable at https://ui.perfetto.dev.
 
 Run:  python examples/observability.py [timeline.json]
 """
@@ -29,7 +32,7 @@ def show_tree(tracer, span, depth=0, max_depth=3):
 
 
 def main():
-    cfg = MachineConfig.summit(nodes=2).with_trace(True)
+    cfg = MachineConfig.summit(nodes=2).with_trace(True).with_flight(True)
     sess = api.session(cfg).model("ampi").build()
 
     lat = run_latency("ampi", 4096, "inter", True, session=sess, iters=8, skip=2)
@@ -49,6 +52,27 @@ def main():
     sizes = snap["histograms"]["ucx.send_size_bytes"]
     print(f"send sizes observed: {sizes['count']} "
           f"(mean {sizes['sum'] / sizes['count']:.0f} B)")
+
+    print("\n== flight recorder: delayed-posting cost ==")
+    agg = sess.flight_summary()
+    for proto in ("rndv", "eager"):
+        p = agg["by_protocol"][proto]
+        print(f"  {proto:>5}: {p['n']:3d} transfers, delayed-posting "
+              f"{p['delayed_posting_seconds'] * 1e6:6.2f} us total "
+              f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us), "
+              f"{p['unexpected']} unexpected arrivals")
+    print(f"  posting-order inversions: {agg['posting_inversions']}")
+
+    # eager transfers complete without waiting for the receiver: an 8 B
+    # intra-node run shows zero delayed-posting cost by construction
+    eager_sess = api.session(cfg).model("ampi").build()
+    run_latency("ampi", 8, "intra", True, session=eager_sess, iters=8, skip=2)
+    eagg = eager_sess.flight_summary()
+    print(f"  (8 B intra run: eager delayed-posting "
+          f"{eagg['delayed_posting_seconds'] * 1e6:.2f} us — always zero)")
+
+    print("\n== critical-path layer blame ==")
+    print(sess.critical_path().format())
 
     out = sys.argv[1] if len(sys.argv) > 1 else "timeline.json"
     path = sess.export_chrome_trace(out)

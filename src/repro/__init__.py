@@ -19,11 +19,11 @@ Public entry points:
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from repro.config import MachineConfig, default_config, summit
+from repro.config import MachineConfig
 
-__all__ = ["MachineConfig", "__version__", "api", "default_config", "obs", "summit"]
+__all__ = ["MachineConfig", "__version__", "api", "obs"]
 
 
 def __getattr__(name):

@@ -318,6 +318,8 @@ class AmpiRank:
                         self.pe, ampi.rank_pe(dst), dev_meta, on_complete=_notify_sender
                     )
                     ampi._send_envelope(self.pe, env, host_bytes=0)
+                if tracer.flight.enabled:
+                    tracer.flight.metadata_sent(dev_meta.tag)
 
             tracer.charge("ampi", pre)
             sim.schedule(self._cpu_delay(pre), _go_device)
@@ -450,6 +452,9 @@ class Ampi:
 
     def _handle_envelope(self, pe, msg: CmiMessage) -> None:
         env: AmpiEnvelope = msg.payload
+        tracer = self.machine.tracer
+        if tracer.flight.enabled and env.dev_meta is not None:
+            tracer.flight.metadata_arrived(env.dev_meta.tag)
         rank = self.ranks[env.dst]
         req, scanned = rank.matching.match_envelope(env)
         pe.charge(self.rt.ampi_match_cost * scanned)

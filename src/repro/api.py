@@ -33,6 +33,7 @@ from typing import Dict, Optional, Union
 
 from repro.config import MachineConfig
 from repro.obs import chrome_trace, export_chrome_trace, metrics_snapshot
+from repro.obs.critical_path import CriticalPathReport, critical_path
 
 __all__ = ["MODELS", "Session", "SessionBuilder", "session", "build"]
 
@@ -97,6 +98,41 @@ class Session:
             self.machine.tracer, path, process_name=f"repro-{self.model}"
         )
 
+    def flight_records(self):
+        """Per-message device-transfer lifecycles (needs ``.flight()``;
+        empty list when flight recording is disabled)."""
+        return self.machine.tracer.flight.records()
+
+    def flight_summary(self) -> Dict:
+        """Aggregate flight statistics: per-protocol delayed-posting cost,
+        unexpected-arrival counts, posting-order inversions."""
+        return self.machine.tracer.flight.aggregate()
+
+    def critical_path(self, t0: Optional[float] = None,
+                      t1: Optional[float] = None) -> CriticalPathReport:
+        """Critical chain + per-layer blame over the traced window
+        (requires tracing; see :mod:`repro.obs.critical_path`)."""
+        return critical_path(self.machine.tracer, t0, t1)
+
+    def baseline_fingerprint(self) -> Dict:
+        """Deterministic run fingerprint used by the perf-regression
+        baseline gate (:mod:`repro.obs.baseline`)."""
+        agg = self.machine.tracer.flight.aggregate()
+        return {
+            "sim_time_us": self.now * 1e6,
+            "events": self.sim.event_count,
+            "counters": dict(sorted(self.counters.items())),
+            "posting": {
+                "delayed_posting_us": agg["delayed_posting_seconds"] * 1e6,
+                "rndv_delayed_posting_us":
+                    agg["by_protocol"]["rndv"]["delayed_posting_seconds"] * 1e6,
+                "eager_delayed_posting_us":
+                    agg["by_protocol"]["eager"]["delayed_posting_seconds"] * 1e6,
+                "inversions": agg["posting_inversions"],
+                "n_records": agg["n_records"],
+            },
+        }
+
 
 class SessionBuilder:
     """Fluent builder: ``api.session(cfg).model("ampi").trace().build()``."""
@@ -106,6 +142,7 @@ class SessionBuilder:
         self._model = "charm"
         self._nodes: Optional[int] = None
         self._trace: Optional[bool] = None
+        self._flight: Optional[bool] = None
         self._gdrcopy: Optional[bool] = None
         self._n_ranks: Optional[int] = None
         self._ranks_per_pe: int = 1
@@ -123,6 +160,11 @@ class SessionBuilder:
 
     def trace(self, enabled: bool = True) -> "SessionBuilder":
         self._trace = enabled
+        return self
+
+    def flight(self, enabled: bool = True) -> "SessionBuilder":
+        """Enable message-lifecycle flight recording (observation-only)."""
+        self._flight = enabled
         return self
 
     def gdrcopy(self, enabled: bool) -> "SessionBuilder":
@@ -154,6 +196,8 @@ class SessionBuilder:
             cfg = cfg.without_gdrcopy()
         if self._trace is not None:
             cfg = cfg.with_trace(self._trace)
+        if self._flight is not None:
+            cfg = cfg.with_flight(self._flight)
 
         name = self._model
         charm = None
@@ -185,13 +229,15 @@ def build(
     """One-shot convenience: ``api.build(cfg, "openmpi", n_ranks=2)``.
 
     Keyword arguments map to the builder methods: ``nodes``, ``trace``,
-    ``gdrcopy``, ``n_ranks``, ``ranks_per_pe``, ``n_pes``.
+    ``flight``, ``gdrcopy``, ``n_ranks``, ``ranks_per_pe``, ``n_pes``.
     """
     b = session(config).model(model)
     if "nodes" in kwargs:
         b.nodes(kwargs.pop("nodes"))
     if "trace" in kwargs:
         b.trace(kwargs.pop("trace"))
+    if "flight" in kwargs:
+        b.flight(kwargs.pop("flight"))
     if "gdrcopy" in kwargs:
         b.gdrcopy(kwargs.pop("gdrcopy"))
     if "n_ranks" in kwargs or "ranks_per_pe" in kwargs:

@@ -108,13 +108,20 @@ def main(argv=None) -> None:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome-trace timeline of the run "
                              "(open in ui.perfetto.dev)")
+    parser.add_argument("--flight-out", metavar="PATH", default=None,
+                        help="write the flight-recorder JSON (per-message "
+                             "halo-exchange lifecycles + aggregate)")
+    parser.add_argument("--blame", action="store_true",
+                        help="print the critical-path layer-blame report "
+                             "and delayed-posting summary")
     args = parser.parse_args(argv)
 
     sess = None
-    if args.trace_out:
+    if args.trace_out or args.flight_out or args.blame:
         import repro.api as api
 
-        cfg = MachineConfig.summit(nodes=args.nodes).with_trace(True)
+        cfg = (MachineConfig.summit(nodes=args.nodes)
+               .with_trace(True).with_flight(True))
         sess = api.session(cfg).model(args.model).build()
     result = run_jacobi(
         args.model, nodes=args.nodes, scaling=args.scaling,
@@ -125,9 +132,28 @@ def main(argv=None) -> None:
           f"{args.scaling} scaling, domain {result.domain}")
     print(f"overall time per iteration: {result.iter_time * 1e3:9.3f} ms")
     print(f"comm    time per iteration: {result.comm_time * 1e3:9.3f} ms")
-    if sess is not None:
+    if args.trace_out:
         path = sess.export_chrome_trace(args.trace_out)
         print(f"# trace written to {path}")
+    if args.flight_out:
+        import json
+
+        doc = {
+            "records": [r.to_dict() for r in sess.flight_records()],
+            "aggregate": sess.flight_summary(),
+        }
+        with open(args.flight_out, "w") as f:
+            json.dump(doc, f, indent=2)
+        print(f"# flight records written to {args.flight_out}")
+    if args.blame:
+        agg = sess.flight_summary()
+        print("# layer blame")
+        print(sess.critical_path().format())
+        for proto in ("rndv", "eager"):
+            p = agg["by_protocol"][proto]
+            print(f"# {proto}: n={p['n']}, delayed-posting "
+                  f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
+                  f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
 
 
 if __name__ == "__main__":

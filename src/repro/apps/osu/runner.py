@@ -133,6 +133,12 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="write a Chrome-trace timeline (open in "
                              "ui.perfetto.dev) of the largest-size run")
+    parser.add_argument("--flight-out", metavar="PATH", default=None,
+                        help="write the flight-recorder JSON (per-message "
+                             "lifecycles + aggregate) of the largest-size run")
+    parser.add_argument("--blame", action="store_true",
+                        help="print the critical-path layer-blame report and "
+                             "delayed-posting summary of the largest-size run")
     args = parser.parse_args(argv)
 
     sizes = [s for s in OSU_SIZES if s <= args.max_size]
@@ -155,10 +161,12 @@ def main(argv: Optional[List[str]] = None) -> None:
         for s, v in series.items():
             print(f"{_fmt_size(s):>8}  {v / 1e6:16.2f}")
 
-    if args.trace_out:
+    if args.trace_out or args.flight_out or args.blame:
+        import json
+
         import repro.api as api
 
-        cfg = MachineConfig.summit(nodes=2).with_trace(True)
+        cfg = MachineConfig.summit(nodes=2).with_trace(True).with_flight(True)
         sess = api.session(cfg).model(args.model).build()
         if args.benchmark == "latency":
             run_latency(args.model, sizes[-1], args.placement,
@@ -166,8 +174,27 @@ def main(argv: Optional[List[str]] = None) -> None:
         else:
             run_bandwidth(args.model, sizes[-1], args.placement,
                           not args.host_staging, session=sess)
-        path = sess.export_chrome_trace(args.trace_out)
-        print(f"# trace ({_fmt_size(sizes[-1])} run) written to {path}")
+        if args.trace_out:
+            path = sess.export_chrome_trace(args.trace_out)
+            print(f"# trace ({_fmt_size(sizes[-1])} run) written to {path}")
+        if args.flight_out:
+            doc = {
+                "records": [r.to_dict() for r in sess.flight_records()],
+                "aggregate": sess.flight_summary(),
+            }
+            with open(args.flight_out, "w") as f:
+                json.dump(doc, f, indent=2)
+            print(f"# flight records ({_fmt_size(sizes[-1])} run) "
+                  f"written to {args.flight_out}")
+        if args.blame:
+            agg = sess.flight_summary()
+            print(f"# layer blame ({_fmt_size(sizes[-1])} run)")
+            print(sess.critical_path().format())
+            for proto in ("rndv", "eager"):
+                p = agg["by_protocol"][proto]
+                print(f"# {proto}: n={p['n']}, delayed-posting "
+                      f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
+                      f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
 
 
 if __name__ == "__main__":

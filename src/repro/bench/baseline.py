@@ -1,0 +1,120 @@
+"""CLI for the perf-regression baseline gate.
+
+Usage::
+
+    python -m repro.bench.baseline record [--out BENCH_baseline.json]
+    python -m repro.bench.baseline check  [--baseline BENCH_baseline.json]
+                                          [--rtol 0.01]
+                                          [--override runtime.ampi_send_overhead=6e-6]
+
+``record`` runs the workload suite of :mod:`repro.obs.baseline` and writes
+the fingerprints; ``check`` re-runs the suite and exits nonzero when any
+fingerprint drifts outside tolerance.  ``--override section.key=value``
+perturbs the config before running (sections: ``topology``, ``cuda``,
+``ucx``, ``tags``, ``runtime``, or a bare top-level field) — handy both
+for what-if runs and for demonstrating that the gate trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.config import MachineConfig
+from repro.obs.baseline import (
+    DEFAULT_BASELINE_PATH,
+    check_baseline,
+    collect_baseline,
+    load_baseline,
+    save_baseline,
+)
+
+_SECTIONS = ("topology", "cuda", "ucx", "tags", "runtime")
+
+
+def _parse_value(text: str):
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def apply_override(cfg: MachineConfig, spec: str) -> MachineConfig:
+    """Apply one ``section.key=value`` (or top-level ``key=value``) override."""
+    if "=" not in spec:
+        raise ValueError(f"override {spec!r} is not of the form key=value")
+    key, _, text = spec.partition("=")
+    value = _parse_value(text.strip())
+    key = key.strip()
+    if "." in key:
+        section, _, name = key.partition(".")
+        if section not in _SECTIONS:
+            raise ValueError(
+                f"unknown config section {section!r}; valid: {_SECTIONS}"
+            )
+        if section == "ucx":
+            return cfg.with_ucx(**{name: value})
+        if section == "runtime":
+            return cfg.with_runtime(**{name: value})
+        if section == "topology":
+            return cfg.with_topology(**{name: value})
+        from dataclasses import replace
+
+        from repro.config import _validated_replace
+
+        sub = _validated_replace(getattr(cfg, section), {name: value})
+        return replace(cfg, **{section: sub})
+    return cfg.with_overrides(**{key: value})
+
+
+def _build_config(overrides: List[str]) -> MachineConfig:
+    cfg = MachineConfig.summit(nodes=2)
+    for spec in overrides:
+        cfg = apply_override(cfg, spec)
+    return cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.baseline",
+        description="record/check deterministic performance baselines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run the suite and write the baseline")
+    rec.add_argument("--out", default=DEFAULT_BASELINE_PATH,
+                     help=f"output path (default {DEFAULT_BASELINE_PATH})")
+    rec.add_argument("--override", action="append", default=[],
+                     metavar="SECTION.KEY=VALUE",
+                     help="config perturbation (repeatable)")
+
+    chk = sub.add_parser("check", help="re-run the suite and compare")
+    chk.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                     help=f"baseline path (default {DEFAULT_BASELINE_PATH})")
+    chk.add_argument("--rtol", type=float, default=None,
+                     help="relative tolerance for modeled times "
+                          "(default: the baseline's recorded rtol)")
+    chk.add_argument("--override", action="append", default=[],
+                     metavar="SECTION.KEY=VALUE",
+                     help="config perturbation (repeatable)")
+
+    args = parser.parse_args(argv)
+    cfg = _build_config(args.override)
+
+    if args.command == "record":
+        doc = collect_baseline(cfg)
+        path = save_baseline(doc, args.out)
+        print(f"baseline with {len(doc['entries'])} workload(s) written to {path}")
+        return 0
+
+    report = check_baseline(load_baseline(args.baseline), cfg, rtol=args.rtol)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -271,6 +271,10 @@ class Charm:
             device_bufs=list(dev_bufs),
         )
         self.converse.cmi_send(src_pe, msg)
+        flight = self.machine.tracer.flight
+        if flight.enabled:
+            for b in dev_bufs:
+                flight.metadata_sent(b.tag)
 
     def pe_of_gpu(self, gpu: int) -> int:
         """Inverse of the 1:1 PE<->GPU mapping."""
@@ -294,13 +298,18 @@ class Charm:
         if not msg.device_bufs:
             return self._run_entry(pe, chare, method, args)
 
+        flight = self.machine.tracer.flight
+        if flight.enabled:
+            for b in msg.device_bufs:
+                flight.metadata_arrived(b.tag)
         post_fn = getattr(chare, f"{method}_post", None)
         if post_fn is None:
             raise RuntimeError(
                 f"{type(chare).__name__}.{method} takes nocopydevice parameters "
                 f"but defines no post entry method {method}_post"
             )
-        posts = PendingInvocation.make_posts(msg.device_bufs)
+        posts = PendingInvocation.make_posts(msg.device_bufs,
+                                             announced_at=self.sim.now)
         pe.charge(rt.post_entry_overhead)
         prev, self._current_pe = self._current_pe, pe.index
         try:

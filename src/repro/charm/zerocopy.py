@@ -28,12 +28,15 @@ class DevicePost:
 
     ``size`` and ``tag`` come from the sender's metadata; the post entry
     method must set ``buffer`` to a device allocation of at least ``size``
-    bytes (the paper's ``data = recv_gpu_data`` line)."""
+    bytes (the paper's ``data = recv_gpu_data`` line).  ``announced_at``
+    is the simulated time the metadata message was handled — the earliest
+    instant the receiver *could* have posted (introspection only)."""
 
     size: int
     tag: int
     src_pe: int
     buffer: Optional[Buffer] = None
+    announced_at: float = 0.0
 
     def validate(self) -> None:
         if self.buffer is None:
@@ -61,5 +64,10 @@ class PendingInvocation:
     pending_id: int = field(default_factory=lambda: next(_pending_ids))
 
     @staticmethod
-    def make_posts(dev_bufs: List[CmiDeviceBuffer]) -> List[DevicePost]:
-        return [DevicePost(size=b.size, tag=b.tag, src_pe=b.src_pe) for b in dev_bufs]
+    def make_posts(dev_bufs: List[CmiDeviceBuffer],
+                   announced_at: float = 0.0) -> List[DevicePost]:
+        return [
+            DevicePost(size=b.size, tag=b.tag, src_pe=b.src_pe,
+                       announced_at=announced_at)
+            for b in dev_bufs
+        ]

@@ -107,6 +107,8 @@ class Channel:
                     self.charm.converse.cmi_send_device(src_pe, dst_pe, dev_meta)
                     pkt = _Packet(kind="dev", dev_meta=dev_meta)
                     self._post_packet(src_pe, dst_pe, pkt, host_bytes=0)
+                if tracer.flight.enabled:
+                    tracer.flight.metadata_sent(dev_meta.tag)
                 sp.end()
 
             sim.schedule(cost, _go)

@@ -120,9 +120,10 @@ class Charm4py:
     def _handle_channel_msg(self, pe, msg) -> None:
         key, owner_id, pkt = msg.payload
         pe.charge(self.rt.cython_crossing_overhead)
-        self.charm.machine.tracer.charge(
-            "charm4py", self.rt.cython_crossing_overhead
-        )
+        tracer = self.charm.machine.tracer
+        tracer.charge("charm4py", self.rt.cython_crossing_overhead)
+        if tracer.flight.enabled and pkt.kind == "dev":
+            tracer.flight.metadata_arrived(pkt.dev_meta.tag)
         ep = self._endpoint(key, owner_id)
         if ep.waiting:
             future, dst = ep.waiting.popleft()

@@ -21,7 +21,6 @@ copy a config with :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields, replace
 
 KB = 1024
@@ -256,6 +255,9 @@ class MachineConfig:
     # are virtual (size-only).  Keeps paper-scale Jacobi domains cheap.
     payload_materialize_limit: int = 4 * MB
     trace: bool = False
+    # Message-lifecycle flight recording (repro.obs.flight); like `trace`,
+    # observation-only — simulated results are identical on or off.
+    flight: bool = False
     seed: int = 0
 
     # -- constructors ---------------------------------------------------------
@@ -284,6 +286,9 @@ class MachineConfig:
     def with_trace(self, enabled: bool = True) -> "MachineConfig":
         return replace(self, trace=bool(enabled))
 
+    def with_flight(self, enabled: bool = True) -> "MachineConfig":
+        return replace(self, flight=bool(enabled))
+
     def with_overrides(self, **overrides) -> "MachineConfig":
         """Copy with top-level field overrides; unknown keys raise
         :class:`ValueError` naming the valid fields."""
@@ -310,23 +315,3 @@ def _validated_replace(cfg, overrides: dict):
             f"valid fields: {sorted(valid)}"
         )
     return replace(cfg, **overrides)
-
-
-def summit(nodes: int = 2, **overrides) -> MachineConfig:
-    """Deprecated alias for :meth:`MachineConfig.summit`."""
-    warnings.warn(
-        "repro.config.summit() is deprecated; use MachineConfig.summit()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return MachineConfig.summit(nodes=nodes, **overrides)
-
-
-def default_config() -> MachineConfig:
-    """Deprecated alias for :meth:`MachineConfig.default`."""
-    warnings.warn(
-        "repro.config.default_config() is deprecated; use MachineConfig.default()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return MachineConfig.default()

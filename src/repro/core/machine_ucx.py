@@ -137,6 +137,11 @@ class UcxMachineLayer:
         tracer = self.machine.tracer
         tracer.count("machine", "send_device")
         tracer.charge("machine", rt.lrts_send_device_overhead + rt.heap_alloc_cost)
+        if tracer.flight.enabled:
+            # data is ready at the sender from this call on; the flight
+            # recorder measures posting delay against this instant
+            tracer.flight.begin(tag, src_pe=src_pe, dst_pe=dst_pe,
+                                size=dev_buf.size)
         sp = tracer.span(
             "machine", "lrts_send_device",
             src_pe=src_pe, dst_pe=dst_pe, size=dev_buf.size, tag=tag,
@@ -166,6 +171,8 @@ class UcxMachineLayer:
         tracer = self.machine.tracer
         tracer.count("machine", "recv_device")
         tracer.charge("machine", rt.lrts_recv_device_overhead + rt.heap_alloc_cost)
+        if tracer.flight.enabled:
+            tracer.flight.recv_posted(op.tag)
         sp = tracer.span(
             "machine", "lrts_recv_device",
             pe=pe, size=op.size, tag=op.tag, recv_type=op.recv_type.name,

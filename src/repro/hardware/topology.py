@@ -94,7 +94,7 @@ class Machine:
     def __init__(self, cfg: MachineConfig) -> None:
         self.cfg = cfg
         self.sim = Simulator()
-        self.tracer = Tracer(self.sim, enabled=cfg.trace)
+        self.tracer = Tracer(self.sim, enabled=cfg.trace, flight=cfg.flight)
         topo = cfg.topology
         self.nodes: List[Node] = [Node(self, n) for n in range(topo.nodes)]
         self.allocators: Dict[int, DeviceAllocator] = {

@@ -1,25 +1,41 @@
-"""Structured observability: span trees, typed metrics, timeline export.
+"""Structured observability: span trees, typed metrics, timeline export,
+message-lifecycle flight recording and critical-path analysis.
 
 Usage (normally reached through :mod:`repro.api`)::
 
     import repro.api as api
 
-    sess = api.session(MachineConfig.summit()).model("ampi").trace().build()
+    sess = api.session(MachineConfig.summit()).model("ampi").trace().flight().build()
     ...  # run a workload
     sess.export_chrome_trace("timeline.json")   # open in ui.perfetto.dev
     snap = sess.metrics_snapshot()              # plain-dict counters/times
+    recs = sess.flight_records()                # per-message lifecycles
+    print(sess.critical_path().format())        # layer-blame report
 
 See :mod:`repro.obs.tracing` for the span API and the determinism contract,
 :mod:`repro.obs.metrics` for the registry, :mod:`repro.obs.export` for the
-Chrome-trace format notes.
+Chrome-trace format notes, :mod:`repro.obs.flight` for the flight-record
+schema, :mod:`repro.obs.critical_path` for the blame algorithm and
+:mod:`repro.obs.baseline` for the perf-regression baseline store.
 """
 
+from repro.obs.baseline import (
+    BaselineReport,
+    check_baseline,
+    collect_baseline,
+)
+from repro.obs.critical_path import (
+    CriticalPathReport,
+    Segment,
+    critical_path,
+)
 from repro.obs.export import (
     chrome_trace,
     export_chrome_trace,
     metrics_snapshot,
     validate_chrome_trace,
 )
+from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     SIZE_BUCKETS,
@@ -31,14 +47,21 @@ from repro.obs.tracing import (
     Span,
     TraceRecord,
     Tracer,
-    reset_deprecation_warnings,
 )
 
 __all__ = [
+    "BaselineReport",
+    "check_baseline",
+    "collect_baseline",
+    "CriticalPathReport",
+    "Segment",
+    "critical_path",
     "chrome_trace",
     "export_chrome_trace",
     "metrics_snapshot",
     "validate_chrome_trace",
+    "FlightRecord",
+    "FlightRecorder",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "Histogram",
@@ -47,5 +70,4 @@ __all__ = [
     "Span",
     "TraceRecord",
     "Tracer",
-    "reset_deprecation_warnings",
 ]

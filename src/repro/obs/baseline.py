@@ -1,0 +1,188 @@
+"""Performance-baseline store and regression gate.
+
+Because the simulator is deterministic, a run's modeled results are a
+*fingerprint* of the code: one-way latencies, final simulated time, event
+counts, counters and the flight recorder's aggregate delayed-posting cost
+are bit-stable across hosts and runs.  This module persists those
+fingerprints for a small suite of fast, representative workloads
+(``BENCH_baseline.json`` at the repo root) and re-derives them on demand:
+
+* ``record`` — run the suite, write the baseline file;
+* ``check`` — run the suite again and compare against the stored
+  baseline: integer quantities (event counts, counters, inversions) must
+  match exactly, modeled times within a relative tolerance.
+
+Any code change that shifts a modeled latency, schedules a different
+number of events or bumps a counter outside tolerance trips the gate —
+the CI hook the ROADMAP's "every PR makes a hot path measurably faster
+or enables that" needs to be enforceable.
+
+CLI: ``python -m repro.bench.baseline record|check`` (see
+:mod:`repro.bench.baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.config import KB, MachineConfig
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE_PATH",
+    "WORKLOADS",
+    "BaselineReport",
+    "collect_baseline",
+    "check_baseline",
+    "load_baseline",
+    "save_baseline",
+    "run_workload",
+]
+
+BASELINE_SCHEMA = 1
+
+#: Committed at the repository root.
+DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
+
+#: Default relative tolerance for modeled times (floats); integers exact.
+DEFAULT_RTOL = 0.01
+
+#: name -> (model, size, placement).  Small-message intra-node points cover
+#: every model's eager path cheaply; the inter-node 64 KB points exercise
+#: the rendezvous protocols (and therefore nonzero delayed-posting cost).
+WORKLOADS: Dict[str, Tuple[str, int, str]] = {
+    "osu_latency_charm_intra_8": ("charm", 8, "intra"),
+    "osu_latency_ampi_intra_8": ("ampi", 8, "intra"),
+    "osu_latency_openmpi_intra_8": ("openmpi", 8, "intra"),
+    "osu_latency_charm4py_intra_8": ("charm4py", 8, "intra"),
+    "osu_latency_charm_inter_64K": ("charm", 64 * KB, "inter"),
+    "osu_latency_ampi_inter_64K": ("ampi", 64 * KB, "inter"),
+}
+
+_ITERS = 6
+_SKIP = 2
+
+
+def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
+    """Run one named workload and return its fingerprint dict."""
+    import repro.api as api
+    from repro.apps.osu.runner import run_latency
+
+    spec = WORKLOADS.get(name)
+    if spec is None:
+        raise KeyError(
+            f"unknown baseline workload {name!r}; known: {sorted(WORKLOADS)}"
+        )
+    model, size, placement = spec
+    cfg = (config if config is not None else MachineConfig.summit(nodes=2))
+    # flight recording feeds the posting fingerprint; it is observation-only
+    # so the modeled quantities are identical to a plain run
+    sess = api.session(cfg.with_flight(True)).model(model).build()
+    latency = run_latency(model, size, placement, True,
+                          session=sess, iters=_ITERS, skip=_SKIP)
+    fp = sess.baseline_fingerprint()
+    fp["latency_us"] = latency * 1e6
+    return fp
+
+
+def collect_baseline(
+    config: Optional[MachineConfig] = None,
+    workloads: Optional[List[str]] = None,
+) -> Dict:
+    """Run the suite and return the baseline document (JSON-ready)."""
+    names = list(WORKLOADS) if workloads is None else list(workloads)
+    return {
+        "schema": BASELINE_SCHEMA,
+        "rtol": DEFAULT_RTOL,
+        "entries": {name: run_workload(name, config) for name in names},
+    }
+
+
+def save_baseline(doc: Dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> Dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {doc.get('schema')!r} != supported {BASELINE_SCHEMA}"
+        )
+    return doc
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of one ``check`` run."""
+
+    compared: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        head = (f"baseline check: {self.compared} workload(s), "
+                f"{len(self.failures)} failure(s)")
+        return "\n".join([head] + [f"  FAIL {f}" for f in self.failures])
+
+
+def _compare_value(where: str, base, cur, rtol: float,
+                   failures: List[str]) -> None:
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(set(base) | set(cur)):
+            if key not in base:
+                failures.append(f"{where}.{key}: new quantity (not in baseline)")
+            elif key not in cur:
+                failures.append(f"{where}.{key}: missing from current run")
+            else:
+                _compare_value(f"{where}.{key}", base[key], cur[key],
+                               rtol, failures)
+        return
+    if isinstance(base, bool) or isinstance(cur, bool):
+        if base != cur:
+            failures.append(f"{where}: {base!r} -> {cur!r}")
+        return
+    if isinstance(base, int) and isinstance(cur, int):
+        if base != cur:
+            failures.append(f"{where}: {base} -> {cur} (exact match required)")
+        return
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        # modeled times: relative tolerance with a small absolute floor so
+        # exact zeros compare clean
+        tol = rtol * max(abs(base), abs(cur))
+        if abs(cur - base) > max(tol, 1e-9):
+            drift = (cur - base) / base * 100.0 if base else float("inf")
+            failures.append(
+                f"{where}: {base:.6g} -> {cur:.6g} ({drift:+.2f}%, rtol={rtol})"
+            )
+        return
+    if base != cur:
+        failures.append(f"{where}: {base!r} -> {cur!r}")
+
+
+def check_baseline(
+    doc: Dict,
+    config: Optional[MachineConfig] = None,
+    rtol: Optional[float] = None,
+) -> BaselineReport:
+    """Re-run every workload named in ``doc`` and compare fingerprints."""
+    if rtol is None:
+        rtol = float(doc.get("rtol", DEFAULT_RTOL))
+    report = BaselineReport()
+    for name, base_fp in sorted(doc.get("entries", {}).items()):
+        if name not in WORKLOADS:
+            report.failures.append(f"{name}: workload no longer defined")
+            continue
+        cur_fp = run_workload(name, config)
+        report.compared += 1
+        _compare_value(name, base_fp, cur_fp, rtol, report.failures)
+    if not doc.get("entries"):
+        report.failures.append("baseline has no entries")
+    return report

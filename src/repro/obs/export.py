@@ -33,6 +33,14 @@ __all__ = [
 
 def _span_events_by_lane(tracer: Tracer) -> List[List[Dict]]:
     spans = sorted(tracer.spans, key=lambda s: (s.start, s.sid))
+    # Spans still open at export time are exported as if they ended at the
+    # latest known instant (never before their own start), flagged with
+    # args["incomplete"] — deterministic and always stack-balanced, instead
+    # of the zero-duration events open spans used to silently collapse to.
+    t_max = 0.0
+    for sp in spans:
+        t_max = max(t_max, sp.start,
+                    sp.end_time if sp.end_time is not None else sp.start)
     # per lane: parallel lists of event dicts and a stack of (span, end) still open
     lane_events: List[List[Dict]] = []
     lane_stacks: List[List[tuple]] = []
@@ -51,12 +59,14 @@ def _span_events_by_lane(tracer: Tracer) -> List[List[Dict]]:
             args["sid"] = span.sid
             if span.parent_sid >= 0:
                 args["parent_sid"] = span.parent_sid
+            if span.end_time is None:
+                args["incomplete"] = True
             ev["args"] = args
         lane_events[lane].append(ev)
 
     for sp in spans:
         start = sp.start
-        end = sp.end_time if sp.end_time is not None else sp.start
+        end = sp.end_time if sp.end_time is not None else max(start, t_max)
         placed = False
         for lane, stack in enumerate(lane_stacks):
             # close spans that ended at or before this start
@@ -129,7 +139,13 @@ def metrics_snapshot(tracer: Tracer) -> Dict:
 def validate_chrome_trace(trace: Dict) -> Dict:
     """Validate a Chrome-trace dict: required keys, monotone ``ts``, and
     matched ``B``/``E`` pairs per ``(pid, tid)`` track.  Returns summary
-    stats; raises :class:`ValueError` on any violation."""
+    stats; raises :class:`ValueError` on any violation.
+
+    Deterministic by construction: an empty trace validates (all-zero
+    stats), zero-duration spans (``B``/``E`` at the same ``ts``) validate,
+    and malformed events fail with a message naming the event index and
+    the violated rule.
+    """
     if not isinstance(trace, dict) or "traceEvents" not in trace:
         raise ValueError("trace must be a dict with a 'traceEvents' list")
     events = trace["traceEvents"]
@@ -140,6 +156,10 @@ def validate_chrome_trace(trace: Dict) -> Dict:
     last_ts: Optional[float] = None
     n_spans = 0
     for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(
+                f"event {i} must be a dict, got {type(ev).__name__}"
+            )
         for req in ("name", "ph", "pid", "tid"):
             if req not in ev:
                 raise ValueError(f"event {i} missing required key {req!r}")
@@ -151,6 +171,10 @@ def validate_chrome_trace(trace: Dict) -> Dict:
         if "ts" not in ev:
             raise ValueError(f"event {i} missing required key 'ts'")
         ts = ev["ts"]
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            raise ValueError(
+                f"event {i}: 'ts' must be a number, got {ts!r}"
+            )
         if last_ts is not None and ts < last_ts:
             raise ValueError(
                 f"event {i}: non-monotone ts ({ts} after {last_ts})"

@@ -1,0 +1,302 @@
+"""Message-lifecycle flight recorder for device transfers.
+
+Every device transfer in the paper's machine layer walks the same chain:
+``LrtsSendDevice`` enqueue -> tag assignment -> host metadata send ->
+metadata arrival -> ``LrtsRecvDevice`` posted -> UCP protocol selected
+(eager / rendezvous) -> tag match -> transfer complete.  The flight
+recorder captures that chain per message as a typed
+:class:`FlightRecord` with simulated timestamps, so analyses can answer
+"where did the latency of this transfer go?" message by message.
+
+The headline derived quantity is the **delayed-posting cost**: the time
+from data-ready-at-sender (the ``LrtsSendDevice`` call) until the
+receiver posts its ``LrtsRecvDevice``.  For rendezvous transfers this
+interval is exposed latency — the RTS sits in the unexpected queue and
+no data moves until the receive is posted — and it is exactly the tax
+the paper attributes to metadata-gated posting (host metadata must
+arrive and be scheduled before the post can happen).  For eager
+transfers the payload travels regardless of the post, so the cost is
+defined as zero.
+
+Determinism contract (enforced by ``tests/test_obs_golden.py``): the
+recorder never calls ``sim.schedule``, never changes a modeled delay and
+never touches the metrics counters — simulated results are bit-identical
+with recording on or off.  All hook sites guard with
+``if flight.enabled:`` so the disabled hot path pays one attribute load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+
+@dataclass
+class FlightRecord:
+    """Lifecycle of one tagged device transfer (times in simulated seconds;
+    ``None`` marks a stage the message never reached)."""
+
+    tag: int
+    src_pe: int
+    dst_pe: int
+    size: int
+    seq: int  # recorder-global begin order (deterministic)
+    enqueued_at: float  # LrtsSendDevice call == data ready at sender
+    metadata_sent_at: Optional[float] = None  # host metadata message enqueued
+    metadata_arrived_at: Optional[float] = None  # metadata handler ran at receiver
+    recv_posted_at: Optional[float] = None  # LrtsRecvDevice call
+    ucx_send_at: Optional[float] = None  # ucp_tag_send_nb entered
+    ucx_recv_posted_at: Optional[float] = None  # ucp_tag_recv_nb entered
+    matched_at: Optional[float] = None
+    matched_unexpected: Optional[bool] = None  # send beat the receive post
+    send_completed_at: Optional[float] = None
+    completed_at: Optional[float] = None  # data landed in the dest buffer
+    protocol: Optional[str] = None  # "eager" | "rndv"
+    lane: Optional[str] = None  # rendezvous transport lane
+
+    # -- derived -----------------------------------------------------------------
+    @property
+    def posted_at(self) -> Optional[float]:
+        """When the receive was posted: the machine-layer post when the
+        transfer went through ``LrtsRecvDevice``, else the raw UCP post
+        (direct-UCX models like OpenMPI)."""
+        if self.recv_posted_at is not None:
+            return self.recv_posted_at
+        return self.ucx_recv_posted_at
+
+    @property
+    def posting_delay(self) -> Optional[float]:
+        """Signed data-ready-to-posted interval (negative when the receive
+        was pre-posted, as OpenMPI's direct tag path allows)."""
+        posted = self.posted_at
+        if posted is None:
+            return None
+        return posted - self.enqueued_at
+
+    @property
+    def delayed_posting_cost(self) -> float:
+        """Exposed latency attributable to late posting.  Zero for eager
+        transfers (payload moves without a posted receive) and for
+        pre-posted rendezvous; otherwise the data-ready-to-posted gap."""
+        if self.protocol != "rndv":
+            return 0.0
+        delay = self.posting_delay
+        if delay is None or delay <= 0.0:
+            return 0.0
+        return delay
+
+    @property
+    def metadata_gap(self) -> Optional[float]:
+        """Flight time of the host metadata message (send to handler)."""
+        if self.metadata_sent_at is None or self.metadata_arrived_at is None:
+            return None
+        return self.metadata_arrived_at - self.metadata_sent_at
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict (timestamps in seconds, derived fields included)."""
+        return {
+            "tag": self.tag,
+            "src_pe": self.src_pe,
+            "dst_pe": self.dst_pe,
+            "size": self.size,
+            "seq": self.seq,
+            "protocol": self.protocol,
+            "lane": self.lane,
+            "enqueued_at": self.enqueued_at,
+            "metadata_sent_at": self.metadata_sent_at,
+            "metadata_arrived_at": self.metadata_arrived_at,
+            "recv_posted_at": self.recv_posted_at,
+            "ucx_send_at": self.ucx_send_at,
+            "ucx_recv_posted_at": self.ucx_recv_posted_at,
+            "matched_at": self.matched_at,
+            "matched_unexpected": self.matched_unexpected,
+            "send_completed_at": self.send_completed_at,
+            "completed_at": self.completed_at,
+            "posting_delay": self.posting_delay,
+            "delayed_posting_cost": self.delayed_posting_cost,
+            "complete": self.complete,
+        }
+
+
+class FlightRecorder:
+    """Collects :class:`FlightRecord` s for one simulated machine.
+
+    Tags are unique per in-flight device message on the machine-layer path
+    (per-PE counters), but direct-UCX models reuse application tags across
+    iterations and may keep several same-tag sends in flight.  The recorder
+    therefore keeps a FIFO list of open records per tag and applies each
+    stage update to the oldest record still missing that stage — valid
+    because UCP tag matching itself is FIFO per tag.
+    """
+
+    def __init__(self, sim, enabled: bool = False) -> None:
+        self.sim = sim
+        self.enabled = enabled
+        self._open: Dict[int, List[FlightRecord]] = {}
+        self._done: List[FlightRecord] = []
+        self._next_seq = 0
+
+    # -- record creation ----------------------------------------------------------
+    def begin(self, tag: int, src_pe: int, dst_pe: int, size: int) -> None:
+        """Open a record at ``sim.now`` (the ``LrtsSendDevice`` call)."""
+        if not self.enabled:
+            return
+        rec = FlightRecord(
+            tag=tag, src_pe=src_pe, dst_pe=dst_pe, size=size,
+            seq=self._next_seq, enqueued_at=self.sim.now,
+        )
+        self._next_seq += 1
+        self._open.setdefault(tag, []).append(rec)
+
+    def ensure(self, tag: int, src_pe: int, dst_pe: int, size: int) -> None:
+        """Open a record unless one for ``tag`` is already in flight — the
+        entry point for device sends that bypass the machine layer and call
+        ``ucp_tag_send_nb`` directly (OpenMPI)."""
+        if not self.enabled:
+            return
+        if self._open.get(tag):
+            return
+        self.begin(tag, src_pe, dst_pe, size)
+
+    # -- stage updates ------------------------------------------------------------
+    def _first_missing(self, tag: int, attr: str) -> Optional[FlightRecord]:
+        for rec in self._open.get(tag, ()):
+            if getattr(rec, attr) is None:
+                return rec
+        return None
+
+    def metadata_sent(self, tag: int) -> None:
+        rec = self._first_missing(tag, "metadata_sent_at")
+        if rec is not None:
+            rec.metadata_sent_at = self.sim.now
+
+    def metadata_arrived(self, tag: int) -> None:
+        rec = self._first_missing(tag, "metadata_arrived_at")
+        if rec is not None:
+            rec.metadata_arrived_at = self.sim.now
+
+    def recv_posted(self, tag: int) -> None:
+        rec = self._first_missing(tag, "recv_posted_at")
+        if rec is not None:
+            rec.recv_posted_at = self.sim.now
+
+    def ucx_send(self, tag: int, protocol: str) -> None:
+        rec = self._first_missing(tag, "ucx_send_at")
+        if rec is not None:
+            rec.ucx_send_at = self.sim.now
+            rec.protocol = protocol
+
+    def matched(self, tag: int, posted_at: float, unexpected: bool) -> None:
+        """Record the tag match; ``posted_at`` is the original
+        ``ucp_tag_recv_nb`` time of the matching request (which, for
+        pre-posted receives, predates the match)."""
+        rec = self._first_missing(tag, "matched_at")
+        if rec is not None:
+            rec.matched_at = self.sim.now
+            rec.matched_unexpected = unexpected
+            rec.ucx_recv_posted_at = posted_at
+
+    def lane(self, tag: int, lane: str) -> None:
+        rec = self._first_missing(tag, "lane")
+        if rec is not None:
+            rec.lane = lane
+
+    def send_completed(self, tag: int) -> None:
+        rec = self._first_missing(tag, "send_completed_at")
+        if rec is not None:
+            rec.send_completed_at = self.sim.now
+
+    def completed(self, tag: int) -> None:
+        """Data landed in the destination buffer; finalize the record."""
+        rec = self._first_missing(tag, "completed_at")
+        if rec is None:
+            return
+        rec.completed_at = self.sim.now
+        lst = self._open[tag]
+        lst.remove(rec)
+        if not lst:
+            del self._open[tag]
+        self._done.append(rec)
+
+    # -- queries ------------------------------------------------------------------
+    def records(self) -> List[FlightRecord]:
+        """All records (completed and still-open), in begin order."""
+        out = list(self._done)
+        for lst in self._open.values():
+            out.extend(lst)
+        out.sort(key=lambda r: r.seq)
+        return out
+
+    def aggregate(self) -> Dict:
+        """JSON-ready summary: per-protocol counts/bytes/delayed-posting
+        totals plus posting-order inversions (receives posted out of the
+        senders' enqueue order for the same (src, dst) pair — each one is
+        a message some later message's receive overtook)."""
+        recs = self.records()
+        by_proto = {
+            p: {
+                "n": 0,
+                "bytes": 0,
+                "delayed_posting_seconds": 0.0,
+                "max_delayed_posting_seconds": 0.0,
+                "unexpected": 0,
+            }
+            for p in ("eager", "rndv")
+        }
+        other = 0
+        total_cost = 0.0
+        for rec in recs:
+            bucket = by_proto.get(rec.protocol)
+            if bucket is None:
+                other += 1
+                continue
+            cost = rec.delayed_posting_cost
+            bucket["n"] += 1
+            bucket["bytes"] += rec.size
+            bucket["delayed_posting_seconds"] += cost
+            if cost > bucket["max_delayed_posting_seconds"]:
+                bucket["max_delayed_posting_seconds"] = cost
+            if rec.matched_unexpected:
+                bucket["unexpected"] += 1
+            total_cost += cost
+        return {
+            "n_records": len(recs),
+            "n_complete": sum(1 for r in recs if r.complete),
+            "n_unclassified": other,
+            "by_protocol": by_proto,
+            "delayed_posting_seconds": total_cost,
+            "posting_inversions": self.posting_inversions(recs),
+        }
+
+    @staticmethod
+    def posting_inversions(recs: List[FlightRecord]) -> int:
+        """Count receives posted out of send order: within each
+        (src, dst) pair, messages ordered by enqueue time whose receive was
+        posted earlier than a predecessor's."""
+        groups: Dict[tuple, List[FlightRecord]] = {}
+        for rec in recs:
+            if rec.posted_at is None:
+                continue
+            groups.setdefault((rec.src_pe, rec.dst_pe), []).append(rec)
+        inversions = 0
+        for group in groups.values():
+            group.sort(key=lambda r: (r.enqueued_at, r.seq))
+            high = None
+            for rec in group:
+                posted = rec.posted_at
+                if high is not None and posted < high:
+                    inversions += 1
+                if high is None or posted > high:
+                    high = posted
+        return inversions
+
+    def reset(self) -> None:
+        self._open.clear()
+        self._done.clear()
+        self._next_seq = 0

@@ -1,7 +1,8 @@
 """Hierarchical span-tree tracing for the simulator.
 
-Replaces the flat ``span_begin``/``span_end`` pairs of the original
-:class:`repro.sim.trace.Tracer` with first-class :class:`Span` objects:
+Replaced the flat ``span_begin``/``span_end`` pairs of the original
+:class:`repro.sim.trace.Tracer` (removed after their deprecation cycle)
+with first-class :class:`Span` objects:
 
 * ``with tracer.span("ucx", "tag_send", size=n):`` — synchronous spans that
   nest lexically (the tracer keeps an active-span stack, so a span opened
@@ -22,10 +23,10 @@ path near-free.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -33,7 +34,6 @@ __all__ = [
     "Span",
     "TraceRecord",
     "Tracer",
-    "reset_deprecation_warnings",
 ]
 
 
@@ -67,6 +67,9 @@ class _NullSpan:
         return None
 
     def end(self, **attrs) -> None:
+        return None
+
+    def close_at(self, time: float, **attrs) -> None:
         return None
 
     def annotate(self, **attrs) -> None:
@@ -124,6 +127,26 @@ class Span:
             tracer._time_acc.get(self.category, 0.0) + self.end_time - self.start
         )
 
+    def close_at(self, time: float, **attrs) -> None:
+        """Close the span at an explicit simulated time (idempotent).
+
+        Observation-only: lets instrumentation record a modeled interval
+        whose endpoint is already known (e.g. the charged tag-match cost)
+        without scheduling a simulator event to call ``end()`` there —
+        scheduling from tracing code would break the determinism contract.
+        """
+        if self.end_time is not None:
+            return
+        if attrs:
+            self.attrs.update(attrs)
+        if time < self.start:
+            time = self.start
+        tracer = self._tracer
+        self.end_time = time
+        tracer._time_acc[self.category] = (
+            tracer._time_acc.get(self.category, 0.0) + time - self.start
+        )
+
     def annotate(self, **attrs) -> None:
         self.attrs.update(attrs)
 
@@ -168,21 +191,6 @@ class _NullContext:
 
 _NULL_CTX = _NullContext()
 
-# Names for which a deprecation warning has already been emitted this process.
-_DEPRECATION_WARNED: Set[str] = set()
-
-
-def reset_deprecation_warnings() -> None:
-    """Forget which deprecated names have warned (test helper)."""
-    _DEPRECATION_WARNED.clear()
-
-
-def _warn_once(name: str, message: str, stacklevel: int = 3) -> None:
-    if name in _DEPRECATION_WARNED:
-        return
-    _DEPRECATION_WARNED.add(name)
-    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
-
 
 class Tracer:
     """Span-tree tracer + metrics registry for one simulated machine.
@@ -191,19 +199,17 @@ class Tracer:
     returns :data:`NULL_SPAN`, ``charge``/``emit`` return immediately.
     """
 
-    def __init__(self, sim, enabled: bool = False) -> None:
+    def __init__(self, sim, enabled: bool = False, flight: bool = False) -> None:
         self.sim = sim
         self.enabled = enabled
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(sim, enabled=flight)
         self.records: List[TraceRecord] = []
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._next_sid = 0
-        # category -> accumulated span time (includes legacy span_begin pairs)
+        # category -> accumulated span time
         self._time_acc: Dict[str, float] = {}
-        # legacy span_begin/span_end bookkeeping: (category, key) -> LIFO
-        # stack of open-span start times (always on, like the original API)
-        self._open_spans: Dict[tuple, List[float]] = {}
 
     # -- span tree ----------------------------------------------------------------
     def span(self, category: str, name: Optional[str] = None,
@@ -289,40 +295,6 @@ class Tracer:
         (overlapping spans double-count, as the legacy API did)."""
         return self._time_acc.get(category, 0.0)
 
-    # -- deprecated flat span API -------------------------------------------------------
-    # Kept with the exact legacy semantics (always-on accounting, re-entrant
-    # LIFO per key, unmatched end returns 0.0) so existing callers only gain
-    # a DeprecationWarning, never a behaviour change.
-    def span_begin(self, category: str, key=None) -> None:
-        """Deprecated: use ``tracer.span(category, ...)`` instead."""
-        _warn_once(
-            "Tracer.span_begin",
-            "Tracer.span_begin/span_end are deprecated; use the "
-            "context-manager span API: `with tracer.span(category, name): ...` "
-            "or `sp = tracer.span(...); ...; sp.end()`.",
-        )
-        stack = self._open_spans.get((category, key))
-        if stack is None:
-            self._open_spans[(category, key)] = [self.sim.now]
-        else:
-            stack.append(self.sim.now)
-
-    def span_end(self, category: str, key=None) -> float:
-        """Deprecated: use ``Span.end()``/the context-manager form instead."""
-        _warn_once(
-            "Tracer.span_end",
-            "Tracer.span_begin/span_end are deprecated; use the "
-            "context-manager span API: `with tracer.span(category, name): ...` "
-            "or `sp = tracer.span(...); ...; sp.end()`.",
-        )
-        stack = self._open_spans.get((category, key))
-        if not stack:
-            return 0.0
-        start = stack.pop()
-        elapsed = self.sim.now - start
-        self._time_acc[category] = self._time_acc.get(category, 0.0) + elapsed
-        return elapsed
-
     # -- lifecycle ------------------------------------------------------------------------
     def reset(self) -> None:
         self.records.clear()
@@ -330,5 +302,5 @@ class Tracer:
         self._stack.clear()
         self._next_sid = 0
         self._time_acc.clear()
-        self._open_spans.clear()
         self.metrics.reset()
+        self.flight.reset()

@@ -4,8 +4,8 @@
 :mod:`repro.obs.tracing` — same constructor, same ``emit``/``count``/
 ``counters`` hot path, plus hierarchical spans (``tracer.span(...)``) and a
 typed metrics registry (``tracer.metrics``).  The flat
-``span_begin``/``span_end`` methods survive with their exact legacy
-semantics but emit a :class:`DeprecationWarning` once per name.
+``span_begin``/``span_end`` methods completed their deprecation cycle and
+were removed; use the context-manager span API.
 
 Importing from this module keeps working indefinitely; new code should
 import from :mod:`repro.obs` (or use the :mod:`repro.api` facade).

@@ -58,6 +58,9 @@ def start_send(
 
     def _copied() -> None:
         sp.end()
+        flight = ctx.machine.tracer.flight
+        if flight.enabled:
+            flight.send_completed(tag)
         req.complete(UcsStatus.OK)
         worker.transmit(remote, msg)
 
@@ -91,6 +94,9 @@ def finish_recv(
     def _done() -> None:
         posted.buf.copy_from(msg.bounce, msg.size)
         sp.end()
+        flight = ctx.machine.tracer.flight
+        if flight.enabled:
+            flight.completed(msg.tag)
         posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
 
     worker.sim.schedule(pre_delay + copy_out, _done)

@@ -139,7 +139,8 @@ def start_transfer(
         route = machine.route(src_loc, dst_loc)
 
     tracer = machine.tracer
-    if tracer.enabled:
+    flight = tracer.flight
+    if tracer.enabled or flight.enabled:
         if not inter_node and src.on_device and dst.on_device:
             lane = "cuda_ipc"
         elif pipelined:
@@ -148,6 +149,9 @@ def start_transfer(
             lane = "rdma_get"
         else:
             lane = "cma"
+        if flight.enabled:
+            flight.lane(msg.tag, lane)
+    if tracer.enabled:
         attrs = {"size": msg.size, "tag": msg.tag, "lane": lane}
         if pipelined:
             attrs["chunks"] = pipeline_chunks(machine.cfg, msg.size)
@@ -155,13 +159,21 @@ def start_transfer(
     else:
         sp = NULL_SPAN
 
+    wire_sp = [NULL_SPAN]
+
     def _begin() -> None:
+        if tracer.enabled:
+            wire_sp[0] = tracer.span("link", "rndv_data", parent=sp,
+                                     tag=msg.tag, bytes=msg.size)
         done = path_transfer(sim, route, msg.size)
         done.add_callback(_data_arrived)
 
     def _data_arrived(_ev) -> None:
         dst.copy_from(src, msg.size)
+        wire_sp[0].end()
         sp.end()
+        if flight.enabled:
+            flight.completed(msg.tag)
         posted.req.complete(UcsStatus.OK, (msg.tag, msg.size))
         fin = WireMessage(
             kind=WireKind.FIN,
@@ -181,4 +193,7 @@ def finish_send(worker: "UcpWorker", msg: WireMessage) -> None:
     req = worker.pending_rndv_sends.pop(msg.rndv_id, None)
     if req is None:
         raise RuntimeError(f"FIN for unknown rendezvous id {msg.rndv_id}")
+    flight = worker.ctx.machine.tracer.flight
+    if flight.enabled:
+        flight.send_completed(msg.tag)
     req.complete(UcsStatus.OK)

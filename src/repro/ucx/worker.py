@@ -122,6 +122,12 @@ class UcpWorker:
         tracer = self.ctx.machine.tracer
         tracer.count("ucx", "send")
         tracer.charge("ucx", cfg.send_overhead + cfg.request_alloc_cost)
+        flight = tracer.flight
+        if flight.enabled and buf.on_device:
+            # direct-UCX device sends (OpenMPI) have no machine-layer record
+            flight.ensure(tag, src_pe=self.worker_id,
+                          dst_pe=ep.remote.worker_id, size=size)
+            flight.ucx_send(tag, proto.value)
         if tracer.enabled:
             sp = tracer.span("ucx", "tag_send", tag=tag, size=size, proto=proto.value)
             req.span = sp
@@ -204,6 +210,14 @@ class UcpWorker:
             self.tag_scans += scanned
             tracer.count("ucx", "unexpected_hit")
             tracer.charge("ucx", cfg.tag_match_cost * scanned)
+            if tracer.enabled:
+                tracer.span(
+                    "ucx.match", "tag_match",
+                    tag=msg.tag, scanned=scanned, unexpected=True,
+                ).close_at(self.sim.now + cfg.tag_match_cost * scanned)
+            if tracer.flight.enabled:
+                tracer.flight.matched(msg.tag, posted_at=req.posted_at,
+                                      unexpected=True)
             delay = base + cfg.tag_match_cost * scanned
             self._dispatch_match(msg, posted, delay)
             return req
@@ -296,18 +310,34 @@ class UcpWorker:
 
     def _am_wire(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float = 0.0, rndv=None, seq=None) -> None:
         machine = self.ctx.machine
+        tracer = machine.tracer
         if remote.worker_id == self.worker_id:
-            self.sim.schedule(
-                LOOPBACK_LATENCY, self._am_arrive, remote, nbytes, payload, extra_rx, rndv, seq
-            )
+            if tracer.enabled:
+                sp = tracer.span("link", "am_wire", bytes=nbytes)
+                self.sim.schedule(
+                    LOOPBACK_LATENCY,
+                    lambda: (sp.end(),
+                             self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq)),
+                )
+            else:
+                self.sim.schedule(
+                    LOOPBACK_LATENCY, self._am_arrive, remote, nbytes, payload, extra_rx, rndv, seq
+                )
             return
         route = machine.route(
             machine.host_location(self.node, self.socket),
             machine.host_location(remote.node, remote.socket),
         )
-        path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
-            lambda _ev: self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq)
-        )
+        if tracer.enabled:
+            sp = tracer.span("link", "am_wire", bytes=nbytes)
+            path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
+                lambda _ev: (sp.end(),
+                             self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq))
+            )
+        else:
+            path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
+                lambda _ev: self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq)
+            )
 
     def _am_arrive(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float, rndv, seq=None) -> None:
         cfg = self.ctx.cfg
@@ -348,9 +378,19 @@ class UcpWorker:
             send_req.complete()
             remote._am_deliver(size, data_payload, self.worker_id, cfg.progress_overhead)
 
+        tracer = machine.tracer
+
+        def _start_fetch() -> None:
+            if tracer.enabled:
+                sp = tracer.span("link", "am_fetch", bytes=size)
+                path_transfer(self.sim, route, size).add_callback(
+                    lambda _ev: (sp.end(), _fetched(_ev))
+                )
+            else:
+                path_transfer(self.sim, route, size).add_callback(_fetched)
+
         self.sim.schedule(
-            cfg.progress_overhead + cfg.rndv_rts_cost + reg,
-            lambda: path_transfer(self.sim, route, size).add_callback(_fetched),
+            cfg.progress_overhead + cfg.rndv_rts_cost + reg, _start_fetch
         )
 
     def _am_deliver(self, size: int, payload, src_id: int, delay: float) -> None:
@@ -380,16 +420,31 @@ class UcpWorker:
         the link fabric.
         """
         nbytes = (wire_bytes if wire_bytes is not None else msg.size) + WIRE_HEADER_BYTES
+        tracer = self.ctx.machine.tracer
         if remote.worker_id == self.worker_id:
-            self.sim.schedule(LOOPBACK_LATENCY, remote._on_wire, msg)
+            if tracer.enabled:
+                sp = tracer.span("link", "wire", kind=msg.kind.name,
+                                 tag=msg.tag, bytes=nbytes)
+                self.sim.schedule(
+                    LOOPBACK_LATENCY, lambda: (sp.end(), remote._on_wire(msg))
+                )
+            else:
+                self.sim.schedule(LOOPBACK_LATENCY, remote._on_wire, msg)
             return
         machine = self.ctx.machine
         route = machine.route(
             machine.host_location(self.node), machine.host_location(remote.node)
         )
-        path_transfer(self.sim, route, nbytes).add_callback(
-            lambda _ev: remote._on_wire(msg)
-        )
+        if tracer.enabled:
+            sp = tracer.span("link", "wire", kind=msg.kind.name,
+                             tag=msg.tag, bytes=nbytes)
+            path_transfer(self.sim, route, nbytes).add_callback(
+                lambda _ev: (sp.end(), remote._on_wire(msg))
+            )
+        else:
+            path_transfer(self.sim, route, nbytes).add_callback(
+                lambda _ev: remote._on_wire(msg)
+            )
 
     def _on_wire(self, msg: WireMessage) -> None:
         """A message arrived (called at its simulated arrival instant)."""
@@ -433,6 +488,14 @@ class UcpWorker:
             tracer = self.ctx.machine.tracer
             tracer.count("ucx", "expected_hit")
             tracer.charge("ucx", cfg.tag_match_cost * scanned)
+            if tracer.enabled:
+                tracer.span(
+                    "ucx.match", "tag_match",
+                    tag=msg.tag, scanned=scanned, unexpected=False,
+                ).close_at(self.sim.now + cfg.tag_match_cost * scanned)
+            if tracer.flight.enabled:
+                tracer.flight.matched(msg.tag, posted_at=posted.req.posted_at,
+                                      unexpected=False)
             delay = base + cfg.tag_match_cost * scanned
             self._dispatch_match(msg, posted, delay)
             return

@@ -21,26 +21,22 @@ class TestPackage:
         assert repro.__version__
 
     def test_top_level_exports(self):
-        import repro.config
-
-        assert repro.summit is repro.config.summit
+        assert repro.__all__ == ["MachineConfig", "__version__", "api", "obs"]
         assert isinstance(MachineConfig.default(), MachineConfig)
 
     def test_api_facade_importable(self):
         assert repro.api.MODELS == ("charm", "ampi", "openmpi", "charm4py")
         assert callable(repro.api.session)
 
+    def test_deprecated_aliases_removed(self):
+        # the free summit()/default_config() helpers completed their
+        # deprecation cycle; MachineConfig classmethods are the API
+        import repro.config
 
-class TestDeprecatedAliases:
-    def test_free_summit_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="MachineConfig.summit"):
-            cfg = repro.summit(nodes=3)
-        assert cfg == MachineConfig.summit(nodes=3)
-
-    def test_free_default_config_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="MachineConfig.default"):
-            cfg = repro.default_config()
-        assert cfg == MachineConfig.default()
+        assert not hasattr(repro, "summit")
+        assert not hasattr(repro, "default_config")
+        assert not hasattr(repro.config, "summit")
+        assert not hasattr(repro.config, "default_config")
 
 
 class TestLinkParams:

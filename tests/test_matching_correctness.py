@@ -11,9 +11,9 @@ Three latent bugs are locked down here:
 2. **Stale GPU-pointer cache** — a freed device buffer's address can be
    re-used by a later (even host) allocation; without invalidation the
    per-PE cache keeps answering ``(True, hit_cost)``.
-3. **Span overwrite** — re-entrant ``Tracer.span_begin`` on the same
-   ``(category, key)`` silently overwrote the open span's start, losing the
-   outer span's time.
+3. **Span overwrite** — the seed's re-entrant span accounting silently
+   overwrote the open span's start, losing the outer span's time; the
+   structured span() API must account nested spans independently.
 """
 
 import pytest
@@ -227,43 +227,31 @@ class TestGpuPointerCacheInvalidation:
 # 3. re-entrant spans
 # ---------------------------------------------------------------------------
 
-class TestSpanStack:
-    """The deprecated span_begin/span_end shim must keep the seed's exact
-    accounting semantics (these are the regressions it was fixed for)."""
+class TestSpanAccounting:
+    """Nested spans on the structured span() API keep both spans' time
+    (the seed's span_begin overwrote the open span's start; that API has
+    since been removed in favor of with-statement spans)."""
 
-    def test_nested_same_key_spans_account_both(self):
-        """Opening the same (category, key) span re-entrantly must not lose
-        the outer span's time (the seed overwrote the start timestamp)."""
-        from repro.obs.tracing import reset_deprecation_warnings
-
+    def test_nested_same_category_spans_account_both(self):
         sim = Simulator()
-        t = Tracer(sim)
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            t.span_begin("ampi", key=1)  # outer opens at 0
-            sim.schedule(1.0, t.span_begin, "ampi", 1)  # inner opens at 1
-            sim.schedule(3.0, lambda: None)
-            sim.run()
-            assert t.span_end("ampi", key=1) == pytest.approx(2.0)  # inner: 1..3
-        sim.schedule(2.0, lambda: None)
+        t = Tracer(sim, enabled=True)
+        outer = t.span("ampi", "outer")  # opens at 0
+        sim.schedule(1.0, lambda: setattr(t, "_inner", t.span("ampi", "inner")))
+        sim.schedule(3.0, lambda: t._inner.end())  # inner: 1..3
+        sim.schedule(5.0, lambda: outer.end())  # outer: 0..5
         sim.run()
-        assert t.span_end("ampi", key=1) == pytest.approx(5.0)  # outer: 0..5
+        assert t._inner.duration == pytest.approx(2.0)
+        assert outer.duration == pytest.approx(5.0)
         assert t.time_in("ampi") == pytest.approx(7.0)
-        # fully unwound: another end is a no-op
-        assert t.span_end("ampi", key=1) == 0.0
 
-    def test_distinct_keys_remain_independent(self):
-        from repro.obs.tracing import reset_deprecation_warnings
-
+    def test_distinct_categories_remain_independent(self):
         sim = Simulator()
-        t = Tracer(sim)
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            t.span_begin("ucx", key="a")
-            sim.schedule(4.0, t.span_end, "ucx", "b")  # never opened: 0
-            sim.run()
-            assert t.time_in("ucx") == 0.0
-            assert t.span_end("ucx", key="a") == pytest.approx(4.0)
+        t = Tracer(sim, enabled=True)
+        sp = t.span("ucx", "a")
+        sim.schedule(4.0, sp.end)
+        sim.run()
+        assert t.time_in("ucx") == pytest.approx(4.0)
+        assert t.time_in("ampi") == 0.0
 
 
 # ---------------------------------------------------------------------------

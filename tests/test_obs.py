@@ -245,6 +245,40 @@ class TestChromeTrace:
     def test_empty_tracer_exports_cleanly(self, sim, tracer):
         info = validate_chrome_trace(chrome_trace(tracer))
         assert info["n_spans"] == 0
+        assert info["n_tracks"] == 0
+
+    def test_zero_duration_span_validates(self, sim, tracer):
+        # B/E at the same ts (e.g. a zero-cost analytic span) is legal
+        with tracer.span("ucx", "instant"):
+            pass
+        info = validate_chrome_trace(chrome_trace(tracer))
+        assert info["n_spans"] == 1
+
+    def test_open_span_exported_as_incomplete(self, sim, tracer):
+        # a span still open at export must be flagged, extended to the
+        # latest known instant, and still validate (stack-balanced)
+        open_sp = tracer.span("ucx", "never_ended")
+        with tracer.span("machine", "done"):
+            sim.schedule(3.0, lambda: None)
+            sim.run()
+        tr = chrome_trace(tracer)
+        info = validate_chrome_trace(tr)
+        assert info["n_spans"] == 2
+        b = [e for e in tr["traceEvents"]
+             if e["ph"] == "B" and e["name"] == "never_ended"][0]
+        assert b["args"]["incomplete"] is True
+        e = [e for e in tr["traceEvents"]
+             if e["ph"] == "E" and e["tid"] == b["tid"]][-1]
+        assert e["ts"] == pytest.approx(3e6)  # extended to t_max, not 0
+        closed = [e for e in tr["traceEvents"]
+                  if e["ph"] == "B" and e["name"] == "done"][0]
+        assert "incomplete" not in closed["args"]
+
+    def test_open_span_export_is_deterministic(self, sim, tracer):
+        tracer.span("ucx", "open")
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert chrome_trace(tracer) == chrome_trace(tracer)
 
     def test_osu_like_overlap_needs_multiple_lanes(self, sim, tracer):
         # spans that overlap without containment cannot share a tid
@@ -294,4 +328,22 @@ class TestValidateRejects:
             {"name": "b", "ph": "E", "pid": 0, "tid": 0, "ts": 2.0},
         ]
         with pytest.raises(ValueError, match="does not match"):
+            validate_chrome_trace({"traceEvents": evs})
+
+    def test_non_dict_event(self):
+        with pytest.raises(ValueError, match="event 0 must be a dict"):
+            validate_chrome_trace({"traceEvents": ["not-an-event"]})
+
+    def test_events_not_a_list(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            validate_chrome_trace({"traceEvents": {"ph": "B"}})
+
+    def test_non_numeric_ts(self):
+        evs = [{"name": "a", "ph": "B", "pid": 0, "tid": 0, "ts": "soon"}]
+        with pytest.raises(ValueError, match="'ts' must be a number"):
+            validate_chrome_trace({"traceEvents": evs})
+
+    def test_boolean_ts_rejected(self):
+        evs = [{"name": "a", "ph": "B", "pid": 0, "tid": 0, "ts": True}]
+        with pytest.raises(ValueError, match="'ts' must be a number"):
             validate_chrome_trace({"traceEvents": evs})

@@ -1,11 +1,12 @@
-"""Golden comparison: tracing on must be *bit-identical* to tracing off.
+"""Golden comparison: tracing/flight on must be *bit-identical* to off.
 
-The observability layer is observation-only — spans, charges, and
-histograms never call ``sim.schedule``, never change a modeled delay, and
-counters are incremented identically in both modes.  These tests run the
-same deterministic workloads with ``trace=True`` and ``trace=False`` and
-compare full simulation fingerprints (clocks, event counts, payloads,
-counters), in the style of ``tests/test_matching_golden.py``.
+The observability layer is observation-only — spans, charges, histograms
+and flight records never call ``sim.schedule``, never change a modeled
+delay, and counters are incremented identically in both modes.  These
+tests run the same deterministic workloads with ``trace``/``flight``
+on and off and compare full simulation fingerprints (clocks, event
+counts, payloads, counters), in the style of
+``tests/test_matching_golden.py``.
 """
 
 import pytest
@@ -16,8 +17,8 @@ from repro.config import MachineConfig
 from tests.test_matching_golden import _make_program, make_plan
 
 
-def _config(trace):
-    return MachineConfig.summit(nodes=2).with_trace(trace)
+def _config(trace, flight=False):
+    return MachineConfig.summit(nodes=2).with_trace(trace).with_flight(flight)
 
 
 # ---------------------------------------------------------------------------
@@ -75,6 +76,57 @@ def test_osu_latency_fingerprint(model, placement, size):
     run_latency(model, size, placement, True, session=sess, iters=6, skip=2)
     assert sess.tracer.spans
     assert any(s.parent_sid >= 0 for s in sess.tracer.spans)
+
+
+@pytest.mark.parametrize("model", ["charm", "ampi", "openmpi", "charm4py"])
+@pytest.mark.parametrize("placement,size", [("intra", 8), ("inter", 256 * 1024)])
+def test_osu_latency_flight_fingerprint(model, placement, size):
+    """Flight recording must not disturb the simulation fingerprint."""
+
+    def fp(flight):
+        sess = api.session(_config(False, flight)).model(model).build()
+        lat = run_latency(model, size, placement, True, session=sess,
+                          iters=6, skip=2)
+        return {
+            "latency": lat,
+            "now": sess.now,
+            "event_count": sess.sim.event_count,
+            "counters": dict(sess.counters),
+        }
+
+    off, on = fp(False), fp(True)
+    assert on == off
+
+    # the flight run actually recorded complete lifecycles
+    sess = api.session(_config(False, True)).model(model).build()
+    run_latency(model, size, placement, True, session=sess, iters=6, skip=2)
+    recs = sess.flight_records()
+    assert recs and all(r.complete for r in recs)
+    proto = "rndv" if size >= 4096 else "eager"
+    assert all(r.protocol == proto for r in recs)
+    if proto == "rndv":
+        assert sess.flight_summary()["delayed_posting_seconds"] >= 0.0
+
+
+@pytest.mark.parametrize("model,seed", [("openmpi", 0), ("ampi", 1)])
+def test_mixed_workload_flight_fingerprint(model, seed):
+    """Flight on/off fingerprints also match under mixed wildcard matching."""
+    plan = make_plan(seed, n_msgs=30)
+
+    def fp(flight):
+        sess = api.session(_config(False, flight)).model(model).build()
+        payloads, finish = {}, {}
+        done = sess.launch(_make_program(plan, sess.sim, payloads, finish))
+        sess.run_until(done, max_events=50_000_000)
+        return {
+            "payloads": payloads,
+            "finish_times": finish,
+            "now": sess.now,
+            "event_count": sess.sim.event_count,
+            "counters": dict(sess.counters),
+        }
+
+    assert fp(True) == fp(False)
 
 
 @pytest.mark.parametrize("model", ["ampi", "charm4py"])

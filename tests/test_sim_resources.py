@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.obs.tracing import reset_deprecation_warnings
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.trace import Tracer
@@ -104,24 +103,23 @@ class TestTracer:
         recs = t.filter(category="charm")
         assert len(recs) == 1 and recs[0].time == 1.0 and recs[0].event == "entry"
 
-    def test_span_accumulation(self, sim):
-        # span_begin/span_end are the deprecated pre-obs API; their
-        # accounting semantics are kept intact behind a DeprecationWarning.
-        t = Tracer(sim)
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning, match="span_begin"):
-            t.span_begin("ampi", key=1)
-        sim.schedule(2.0, lambda: None)
-        sim.run()
-        with pytest.warns(DeprecationWarning, match="span_end"):
-            assert t.span_end("ampi", key=1) == pytest.approx(2.0)
-        assert t.time_in("ampi") == pytest.approx(2.0)
+    def test_deprecated_span_api_removed(self, sim):
+        # span_begin/span_end completed their deprecation cycle; the
+        # with-statement span() API below is the only span interface
+        t = Tracer(sim, enabled=True)
+        assert not hasattr(t, "span_begin")
+        assert not hasattr(t, "span_end")
 
-    def test_span_end_without_begin_is_zero(self, sim):
-        t = Tracer(sim)
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            assert t.span_end("nope") == 0.0
+    def test_span_close_at(self, sim):
+        # close_at ends a span at an explicit modeled time without
+        # scheduling anything (used for analytic costs like tag matching)
+        t = Tracer(sim, enabled=True)
+        sp = t.span("ucx.match", "tag_match")
+        sp.close_at(sim.now + 3.0)
+        assert sp.duration == pytest.approx(3.0)
+        assert t.time_in("ucx.match") == pytest.approx(3.0)
+        sp.close_at(sim.now + 9.0)  # idempotent: second close ignored
+        assert sp.duration == pytest.approx(3.0)
 
     def test_span_context_manager(self, sim):
         """The replacement API: with-statement spans on an enabled tracer."""
@@ -141,8 +139,8 @@ class TestTracer:
     def test_reset_clears_everything(self, sim):
         t = Tracer(sim, enabled=True)
         t.emit("a", "x")
-        reset_deprecation_warnings()
-        with pytest.warns(DeprecationWarning):
-            t.span_begin("s")
+        with t.span("s", "work"):
+            pass
         t.reset()
         assert not t.records and not t.counters and t.time_in("s") == 0.0
+        assert not t.spans
