@@ -96,3 +96,20 @@ class TestCommittedBaseline:
         )
         report = check_baseline(load_baseline(path))
         assert report.ok, report.format()
+
+    def test_lossy_workload_committed_and_faulted(self):
+        """The faulty-link OSU point must be pinned in the committed
+        baseline, with actual recovery activity in its fingerprint."""
+        doc = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        fp = doc["entries"].get("osu_latency_ampi_inter_64K_lossy")
+        assert fp is not None, (
+            "osu_latency_ampi_inter_64K_lossy missing from the committed "
+            "baseline — regenerate with: python -m repro.bench.baseline record"
+        )
+        counters = fp["counters"]
+        assert counters.get("fault.retransmit", 0) > 0
+        assert counters.get("fault.drop", 0) > 0
+        # recovery must deliver every message despite the drops: the clean
+        # and lossy runs complete the same number of AMPI receives
+        clean = doc["entries"]["osu_latency_ampi_inter_64K"]["counters"]
+        assert counters["ampi.recv"] == clean["ampi.recv"]

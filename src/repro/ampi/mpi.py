@@ -61,6 +61,16 @@ class MpiTruncationError(RuntimeError):
     """Incoming message larger than the posted receive buffer."""
 
 
+class MpiCommError(RuntimeError):
+    """A transfer failed at the UCX layer (endpoint timeout under fault
+    injection, or a cancelled request).  ``status`` carries the underlying
+    :class:`repro.ucx.status.UcsStatus`."""
+
+    def __init__(self, message: str, status: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 _host_send_ids = itertools.count(1)
 
 
@@ -309,13 +319,20 @@ class AmpiRank:
                 tracer.charge("ampi", rt.ampi_callback_overhead)
                 sim.schedule(rt.ampi_callback_overhead, ev.succeed, None)
 
+            def _send_failed(status) -> None:
+                ev.fail(MpiCommError(
+                    f"MPI_Send of {nbytes} B r{self.rank}->r{dst} failed: "
+                    f"{status.name}", status,
+                ))
+
             dev_meta = CkDeviceBuffer(ptr=buf, size=nbytes)
             env.dev_meta = dev_meta
 
             def _go_device() -> None:
                 with tracer.under(asp):
                     ampi.charm.converse.cmi_send_device(
-                        self.pe, ampi.rank_pe(dst), dev_meta, on_complete=_notify_sender
+                        self.pe, ampi.rank_pe(dst), dev_meta,
+                        on_complete=_notify_sender, on_error=_send_failed,
                     )
                     ampi._send_envelope(self.pe, env, host_bytes=0)
                 if tracer.flight.enabled:
@@ -498,12 +515,19 @@ class Ampi:
                 tracer.charge("ampi", rt.ampi_callback_overhead)
                 sim.schedule(rt.ampi_callback_overhead, req.event.succeed, status)
 
+            def _failed(_op: DeviceRdmaOp, ucs_status) -> None:
+                req.event.fail(MpiCommError(
+                    f"MPI_Recv of {env.dev_meta.size} B on r{rank.rank} "
+                    f"failed: {ucs_status.name}", ucs_status,
+                ))
+
             op = DeviceRdmaOp(
                 dest=req.buf,
                 size=env.dev_meta.size,
                 tag=env.dev_meta.tag,
                 recv_type=DeviceRecvType.AMPI,
                 on_complete=_done,
+                on_error=_failed,
             )
             with tracer.under(req.span):
                 self.charm.converse.cmi_recv_device(rank.pe, op)

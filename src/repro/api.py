@@ -147,6 +147,7 @@ class SessionBuilder:
         self._n_ranks: Optional[int] = None
         self._ranks_per_pe: int = 1
         self._n_pes: Optional[int] = None
+        self._faults = None
 
     def model(self, name: str) -> "SessionBuilder":
         if name not in MODELS:
@@ -169,6 +170,12 @@ class SessionBuilder:
 
     def gdrcopy(self, enabled: bool) -> "SessionBuilder":
         self._gdrcopy = enabled
+        return self
+
+    def faults(self, plan) -> "SessionBuilder":
+        """Attach a deterministic :class:`repro.faults.FaultPlan`.  An empty
+        plan is bit-identical to no plan; ``None`` clears a previous one."""
+        self._faults = plan
         return self
 
     def ranks(self, n_ranks: Optional[int] = None, ranks_per_pe: int = 1) -> "SessionBuilder":
@@ -198,6 +205,8 @@ class SessionBuilder:
             cfg = cfg.with_trace(self._trace)
         if self._flight is not None:
             cfg = cfg.with_flight(self._flight)
+        if self._faults is not None:
+            cfg = cfg.with_faults(self._faults)
 
         name = self._model
         charm = None
@@ -229,7 +238,8 @@ def build(
     """One-shot convenience: ``api.build(cfg, "openmpi", n_ranks=2)``.
 
     Keyword arguments map to the builder methods: ``nodes``, ``trace``,
-    ``flight``, ``gdrcopy``, ``n_ranks``, ``ranks_per_pe``, ``n_pes``.
+    ``flight``, ``gdrcopy``, ``faults``, ``n_ranks``, ``ranks_per_pe``,
+    ``n_pes``.
     """
     b = session(config).model(model)
     if "nodes" in kwargs:
@@ -240,6 +250,8 @@ def build(
         b.flight(kwargs.pop("flight"))
     if "gdrcopy" in kwargs:
         b.gdrcopy(kwargs.pop("gdrcopy"))
+    if "faults" in kwargs:
+        b.faults(kwargs.pop("faults"))
     if "n_ranks" in kwargs or "ranks_per_pe" in kwargs:
         b.ranks(kwargs.pop("n_ranks", None), kwargs.pop("ranks_per_pe", 1))
     if "n_pes" in kwargs:

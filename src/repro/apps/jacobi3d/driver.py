@@ -114,18 +114,31 @@ def main(argv=None) -> None:
     parser.add_argument("--blame", action="store_true",
                         help="print the critical-path layer-blame report "
                              "and delayed-posting summary")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="deterministic fault plan: inline JSON (starts "
+                             "with '{') or a JSON file path; see "
+                             "repro.faults.FaultPlan")
     args = parser.parse_args(argv)
 
+    fault_plan = None
+    cfg = MachineConfig.summit(nodes=args.nodes)
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        cfg = cfg.with_faults(fault_plan)
+
     sess = None
-    if args.trace_out or args.flight_out or args.blame:
+    if args.trace_out or args.flight_out or args.blame or fault_plan is not None:
         import repro.api as api
 
-        cfg = (MachineConfig.summit(nodes=args.nodes)
-               .with_trace(True).with_flight(True))
+        if args.trace_out or args.flight_out or args.blame:
+            cfg = cfg.with_trace(True).with_flight(True)
         sess = api.session(cfg).model(args.model).build()
     result = run_jacobi(
         args.model, nodes=args.nodes, scaling=args.scaling,
-        gpu_aware=not args.host_staging, iters=args.iters, session=sess,
+        gpu_aware=not args.host_staging, iters=args.iters,
+        config=cfg, session=sess,
     )
     variant = "H" if args.host_staging else "D"
     print(f"# Jacobi3D {args.model}-{variant}, {args.nodes} nodes, "
@@ -154,6 +167,12 @@ def main(argv=None) -> None:
             print(f"# {proto}: n={p['n']}, delayed-posting "
                   f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
                   f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
+    if fault_plan is not None:
+        counters = sess.metrics_snapshot()["counters"]
+        faults = {k: v for k, v in sorted(counters.items())
+                  if k.startswith("fault.")}
+        print("# fault counters: "
+              + (", ".join(f"{k}={v}" for k, v in faults.items()) or "none"))
 
 
 if __name__ == "__main__":

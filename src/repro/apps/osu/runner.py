@@ -139,14 +139,26 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--blame", action="store_true",
                         help="print the critical-path layer-blame report and "
                              "delayed-posting summary of the largest-size run")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="deterministic fault plan: inline JSON (starts "
+                             "with '{') or a JSON file path; see "
+                             "repro.faults.FaultPlan")
     args = parser.parse_args(argv)
+
+    fault_plan = None
+    cfg = MachineConfig.summit(nodes=2)
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.fault_plan)
+        cfg = cfg.with_faults(fault_plan)
 
     sizes = [s for s in OSU_SIZES if s <= args.max_size]
     variant = "H" if args.host_staging else "D"
     label = f"{args.model}-{variant} ({args.placement}-node)"
     if args.benchmark == "latency":
         series = run_latency_sweep(
-            args.model, args.placement, not args.host_staging, sizes
+            args.model, args.placement, not args.host_staging, sizes, config=cfg
         )
         print(f"# OSU latency: {label}")
         print(f"{'size':>8}  {'latency (us)':>12}")
@@ -154,20 +166,23 @@ def main(argv: Optional[List[str]] = None) -> None:
             print(f"{_fmt_size(s):>8}  {v * 1e6:12.2f}")
     else:
         series = run_bandwidth_sweep(
-            args.model, args.placement, not args.host_staging, sizes
+            args.model, args.placement, not args.host_staging, sizes, config=cfg
         )
         print(f"# OSU bandwidth: {label}")
         print(f"{'size':>8}  {'bandwidth (MB/s)':>16}")
         for s, v in series.items():
             print(f"{_fmt_size(s):>8}  {v / 1e6:16.2f}")
 
-    if args.trace_out or args.flight_out or args.blame:
+    sess = None
+    if args.trace_out or args.flight_out or args.blame or fault_plan is not None:
         import json
 
         import repro.api as api
 
-        cfg = MachineConfig.summit(nodes=2).with_trace(True).with_flight(True)
-        sess = api.session(cfg).model(args.model).build()
+        scfg = cfg
+        if args.trace_out or args.flight_out or args.blame:
+            scfg = scfg.with_trace(True).with_flight(True)
+        sess = api.session(scfg).model(args.model).build()
         if args.benchmark == "latency":
             run_latency(args.model, sizes[-1], args.placement,
                         not args.host_staging, session=sess)
@@ -195,6 +210,12 @@ def main(argv: Optional[List[str]] = None) -> None:
                 print(f"# {proto}: n={p['n']}, delayed-posting "
                       f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
                       f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
+        if fault_plan is not None:
+            counters = sess.metrics_snapshot()["counters"]
+            faults = {k: v for k, v in sorted(counters.items())
+                      if k.startswith("fault.")}
+            print(f"# fault counters ({_fmt_size(sizes[-1])} run): "
+                  + (", ".join(f"{k}={v}" for k, v in faults.items()) or "none"))
 
 
 if __name__ == "__main__":

@@ -82,6 +82,8 @@ class Charm:
         self.converse.register_handler("charm_entry", self._handle_entry)
         self.converse.register_handler("charm_entry_ready", self._handle_entry_ready)
         self.layer.register_device_recv_handler(DeviceRecvType.CHARM, self._on_device_recv)
+        self.layer.set_error_handler(self._route_comm_error)
+        self._comm_error_cbs: List[Callable[[str, int, Any], None]] = []
 
         self.chares: Dict[int, Chare] = {}
         self.chare_pe: Dict[int, int] = {}
@@ -114,6 +116,23 @@ class Charm:
         ``CkStartQD`` for this in-process model."""
         self.machine.sim.run(max_events=max_events)
         return self.machine.sim.now
+
+    # -- communication errors ------------------------------------------------------
+    def on_comm_error(self, cb: Callable[[str, int, Any], None]) -> None:
+        """Register ``cb(kind, tag, status)``, invoked when a device transfer
+        fails (endpoint timeout under fault injection, truncation, or
+        cancellation).  Without any registered callback a failure aborts the
+        run — the moral of ``CkAbort`` on an unrecoverable comm error."""
+        self._comm_error_cbs.append(cb)
+
+    def _route_comm_error(self, kind: str, tag: int, status) -> None:
+        if not self._comm_error_cbs:
+            raise RuntimeError(
+                f"Charm++ fatal: device {kind} failed with {status.name} "
+                f"(tag {tag}) and no comm-error callback registered"
+            )
+        for cb in self._comm_error_cbs:
+            cb(kind, tag, status)
 
     # -- PE context --------------------------------------------------------------
     @property

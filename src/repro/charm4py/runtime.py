@@ -92,6 +92,11 @@ class Charm4py:
     def run_until(self, event, max_events: Optional[int] = None):
         return self.charm.run_until(event, max_events=max_events)
 
+    def on_comm_error(self, cb) -> None:
+        """Register ``cb(kind, tag, status)`` for failed device transfers;
+        delegates to the underlying Charm++ runtime's error routing."""
+        self.charm.on_comm_error(cb)
+
     def make_future(self) -> Future:
         return Future(self)
 

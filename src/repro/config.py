@@ -22,6 +22,9 @@ copy a config with :func:`dataclasses.replace`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
 
 KB = 1024
 MB = 1024 * 1024
@@ -258,6 +261,9 @@ class MachineConfig:
     # Message-lifecycle flight recording (repro.obs.flight); like `trace`,
     # observation-only — simulated results are identical on or off.
     flight: bool = False
+    # Deterministic fault injection (repro.faults).  None or an *empty*
+    # plan builds no injector: such runs are bit-identical to each other.
+    faults: Optional[FaultPlan] = None
     seed: int = 0
 
     # -- constructors ---------------------------------------------------------
@@ -288,6 +294,16 @@ class MachineConfig:
 
     def with_flight(self, enabled: bool = True) -> "MachineConfig":
         return replace(self, flight=bool(enabled))
+
+    def with_faults(self, plan: Optional[FaultPlan]) -> "MachineConfig":
+        """Copy with a :class:`repro.faults.FaultPlan` attached (``None``
+        detaches).  Empty plans are kept as-is; the machine treats them
+        exactly like ``None``."""
+        if plan is not None and not isinstance(plan, FaultPlan):
+            raise TypeError(
+                f"with_faults expects a FaultPlan or None, got {type(plan).__name__}"
+            )
+        return replace(self, faults=plan)
 
     def with_overrides(self, **overrides) -> "MachineConfig":
         """Copy with top-level field overrides; unknown keys raise

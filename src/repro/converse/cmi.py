@@ -77,6 +77,7 @@ class Converse:
         dst_pe: int,
         dev_buf: CmiDeviceBuffer,
         on_complete: Optional[Callable[[], None]] = None,
+        on_error: Optional[Callable] = None,
     ) -> int:
         """``CmiSendDevice`` (paper Fig. 6, step 2): hand the GPU buffer to
         the machine layer; the assigned tag lands in ``dev_buf.tag``."""
@@ -91,6 +92,7 @@ class Converse:
                 src_pe, dst_pe, dev_buf,
                 departure_delay=pe.current_delay(),
                 on_complete=on_complete,
+                on_error=on_error,
             )
 
     def cmi_recv_device(self, pe_index: int, op: DeviceRdmaOp) -> None:

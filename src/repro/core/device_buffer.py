@@ -80,6 +80,10 @@ class DeviceRdmaOp:
     tag: int
     recv_type: DeviceRecvType
     on_complete: Optional[Callable[["DeviceRdmaOp"], None]] = None
+    # invoked as ``on_error(op, status)`` when the receive fails (cancelled,
+    # truncated, endpoint timeout); without one the machine layer falls back
+    # to its layer-level error handler, then to raising
+    on_error: Optional[Callable[["DeviceRdmaOp", Any], None]] = None
     context: Any = None  # model-specific (e.g. the pending entry invocation)
 
     def __post_init__(self) -> None:

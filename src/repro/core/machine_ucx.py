@@ -57,6 +57,7 @@ class UcxMachineLayer:
         self.tag_gens = [TagGenerator(pe, self.cfg.tags) for pe in range(n_pes)]
         self._recv_handlers: Dict[DeviceRecvType, Callable[[DeviceRdmaOp], None]] = {}
         self._deliver: Optional[Callable] = None
+        self._error_handler: Optional[Callable[[str, int, UcsStatus], None]] = None
         # statistics for the overhead-anatomy experiment (§IV-B1)
         self.device_sends = 0
         self.device_recvs = 0
@@ -97,6 +98,22 @@ class UcxMachineLayer:
     ) -> None:
         self._recv_handlers[recv_type] = handler
 
+    def set_error_handler(
+        self, handler: Callable[[str, int, UcsStatus], None]
+    ) -> None:
+        """Install the layer-level communication-error upcall, invoked as
+        ``handler(kind, tag, status)`` with kind "send"/"recv" when a device
+        transfer fails and the op carries no ``on_error`` of its own.
+        Without one, a failed device receive raises (the seed behaviour)."""
+        self._error_handler = handler
+
+    def _route_error(self, kind: str, tag: int, status: UcsStatus) -> None:
+        self.machine.tracer.count("machine", "device_error")
+        if self._error_handler is not None:
+            self._error_handler(kind, tag, status)
+            return
+        raise RuntimeError(f"device {kind} failed: {status.name} (tag {tag})")
+
     # -- host path -------------------------------------------------------------------
     def send_host_message(self, src_pe: int, dst_pe: int, msg, wire_bytes: int,
                           departure_delay: float = 0.0) -> None:
@@ -122,6 +139,7 @@ class UcxMachineLayer:
         dev_buf: CmiDeviceBuffer,
         departure_delay: float = 0.0,
         on_complete: Optional[Callable[[], None]] = None,
+        on_error: Optional[Callable[[UcsStatus], None]] = None,
     ) -> int:
         """``LrtsSendDevice``: assign the device tag, store it in the
         metadata object, and send the GPU buffer through UCP.  Returns the
@@ -149,6 +167,12 @@ class UcxMachineLayer:
 
         def _complete(_req: UcxRequest) -> None:
             sp.end()
+            if _req.status is not UcsStatus.OK:
+                if on_error is not None:
+                    on_error(_req.status)
+                else:
+                    self._route_error("send", tag, _req.status)
+                return
             if on_complete is not None:
                 on_complete()
 
@@ -179,9 +203,14 @@ class UcxMachineLayer:
         )
 
         def _complete(req: UcxRequest) -> None:
-            if req.status is not UcsStatus.OK:
-                raise RuntimeError(f"device receive failed: {req.status.name}")
+            # close the span on every outcome: an error must not leak it
             sp.end()
+            if req.status is not UcsStatus.OK:
+                if op.on_error is not None:
+                    op.on_error(op, req.status)
+                else:
+                    self._route_error("recv", op.tag, req.status)
+                return
             if op.on_complete is not None:
                 op.on_complete(op)
             handler(op)

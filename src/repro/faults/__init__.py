@@ -1,0 +1,30 @@
+"""Deterministic, seeded fault injection for the simulated UCX stack.
+
+Public surface::
+
+    from repro.faults import FaultPlan, LinkFaultRule, BandwidthWindow
+
+    plan = FaultPlan.lossy(drop_p=0.08, seed=42)
+    cfg = MachineConfig.summit(nodes=2).with_faults(plan)
+
+See :mod:`repro.faults.plan` for the plan schema and determinism contract,
+:mod:`repro.faults.injector` for the runtime decision engine.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ANY_WORKER,
+    FRAME_KINDS,
+    BandwidthWindow,
+    FaultPlan,
+    LinkFaultRule,
+)
+
+__all__ = [
+    "ANY_WORKER",
+    "FRAME_KINDS",
+    "BandwidthWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultRule",
+]

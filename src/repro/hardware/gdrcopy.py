@@ -24,10 +24,13 @@ class GdrCopy:
         self.sim = sim
         self.cfg = cfg
         self.copies = 0
+        # fault injection can fail the library probe at context init even
+        # when the config says GDRCopy is present (FaultPlan.fail_gdrcopy_probe)
+        self.forced_unavailable = False
 
     @property
     def available(self) -> bool:
-        return self.cfg.gdrcopy_enabled
+        return self.cfg.gdrcopy_enabled and not self.forced_unavailable
 
     def copy_time(self, size: int) -> float:
         """Time for one CPU-driven BAR1 copy of ``size`` bytes."""

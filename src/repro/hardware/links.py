@@ -91,7 +91,15 @@ def path_transfer(
     """
     ordered: List[Link] = sorted(links, key=lambda l: l.link_id)
     done = SimEvent(sim, name="path_transfer")
-    hold = path_latency(ordered) + (size / path_bottleneck(ordered) if ordered else 0.0)
+    injector = getattr(sim, "fault_injector", None)
+    if ordered and injector is not None:
+        # degraded-bandwidth windows scale per-link rates; the bottleneck is
+        # re-derived from the scaled rates (a degraded fast link can become
+        # the new bottleneck).  Factor is sampled at start-of-transfer.
+        bw = min(l.bandwidth * injector.bandwidth_factor(l.name, sim.now) for l in ordered)
+        hold = path_latency(ordered) + size / bw
+    else:
+        hold = path_latency(ordered) + (size / path_bottleneck(ordered) if ordered else 0.0)
     hold += extra_time
 
     if size <= CTRL_BYPASS_BYTES:

@@ -101,6 +101,17 @@ class Machine:
             g: DeviceAllocator(topo.gpu_memory_capacity, g, self.node_of_gpu(g))
             for g in range(topo.total_gpus)
         }
+        self._host_free_hooks: List = []
+        # Fault injection: built only for non-empty plans, so empty-plan
+        # runs take the exact code paths (and event schedule) of plain runs.
+        self.fault_injector = None
+        if cfg.faults is not None and not cfg.faults.empty:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(cfg.faults, self.tracer)
+            # links.py reaches the injector through the simulator handle to
+            # avoid a hardware-internal import cycle
+            self.sim.fault_injector = self.fault_injector
 
     # -- indexing -------------------------------------------------------------
     def node_of_gpu(self, gpu: int) -> int:
@@ -143,6 +154,24 @@ class Machine:
         self, node: int, size: int, materialize: Optional[bool] = None
     ) -> Buffer:
         return host_buffer(node, size, self._maybe_payload(size, materialize))
+
+    def free_host(self, buf: Buffer) -> None:
+        """Free a host buffer.  Host memory is not capacity-tracked, but the
+        free must still run the invalidation hooks: address-keyed caches
+        (the NIC registration cache) would otherwise serve stale entries
+        when the allocator reuses the address."""
+        if buf.on_device:
+            raise ValueError("free_host on a device buffer (use free_device)")
+        if buf.freed:
+            raise RuntimeError("double free")
+        buf.freed = True
+        for hook in self._host_free_hooks:
+            hook(buf)
+
+    def add_host_free_hook(self, hook) -> None:
+        """Run ``hook(buf)`` whenever a host buffer is freed via
+        :meth:`free_host` (mirror of :meth:`add_device_free_hook`)."""
+        self._host_free_hooks.append(hook)
 
     # -- routing --------------------------------------------------------------
     def route(self, src: Location, dst: Location) -> List[Link]:

@@ -50,16 +50,39 @@ DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
 #: Default relative tolerance for modeled times (floats); integers exact.
 DEFAULT_RTOL = 0.01
 
-#: name -> (model, size, placement).  Small-message intra-node points cover
-#: every model's eager path cheaply; the inter-node 64 KB points exercise
-#: the rendezvous protocols (and therefore nonzero delayed-posting cost).
-WORKLOADS: Dict[str, Tuple[str, int, str]] = {
+#: Named fault plans referenced by 4-tuple workload specs.  Deterministic
+#: by construction (seeded), so faulty runs fingerprint just as stably as
+#: clean ones — retransmit/drop counters included.
+_FAULT_PLANS = {
+    "lossy": None,  # built lazily below to keep this module import-light
+}
+
+
+def _fault_plan(key: str):
+    plan = _FAULT_PLANS.get(key)
+    if plan is None:
+        from repro.faults import FaultPlan
+
+        if key != "lossy":
+            raise KeyError(f"unknown baseline fault plan {key!r}")
+        plan = FaultPlan.lossy(drop_p=0.08, seed=1234)
+        _FAULT_PLANS[key] = plan
+    return plan
+
+
+#: name -> (model, size, placement[, fault_plan]).  Small-message intra-node
+#: points cover every model's eager path cheaply; the inter-node 64 KB points
+#: exercise the rendezvous protocols (and therefore nonzero delayed-posting
+#: cost); the ``_lossy`` point pins the fault-injection recovery path
+#: (seeded drops, retransmits, backoff waits) to a fingerprint.
+WORKLOADS: Dict[str, Tuple] = {
     "osu_latency_charm_intra_8": ("charm", 8, "intra"),
     "osu_latency_ampi_intra_8": ("ampi", 8, "intra"),
     "osu_latency_openmpi_intra_8": ("openmpi", 8, "intra"),
     "osu_latency_charm4py_intra_8": ("charm4py", 8, "intra"),
     "osu_latency_charm_inter_64K": ("charm", 64 * KB, "inter"),
     "osu_latency_ampi_inter_64K": ("ampi", 64 * KB, "inter"),
+    "osu_latency_ampi_inter_64K_lossy": ("ampi", 64 * KB, "inter", "lossy"),
 }
 
 _ITERS = 6
@@ -76,8 +99,10 @@ def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
         raise KeyError(
             f"unknown baseline workload {name!r}; known: {sorted(WORKLOADS)}"
         )
-    model, size, placement = spec
+    model, size, placement = spec[:3]
     cfg = (config if config is not None else MachineConfig.summit(nodes=2))
+    if len(spec) == 4:
+        cfg = cfg.with_faults(_fault_plan(spec[3]))
     # flight recording feeds the posting fingerprint; it is observation-only
     # so the modeled quantities are identical to a plain run
     sess = api.session(cfg.with_flight(True)).model(model).build()

@@ -23,6 +23,7 @@ layer                     span sources
 ``host_metadata``         converse spans + the AM path that carries metadata
                           (``am_send`` + its wire/fetch time)
 ``link``                  bulk data wire time (``link`` spans)
+``fault_recovery``        retransmit backoff waits (``fault`` spans)
 ``uninstrumented``        gaps covered by no span
 ========================  =====================================================
 
@@ -41,6 +42,9 @@ __all__ = ["Segment", "CriticalPathReport", "critical_path", "layer_of"]
 
 def layer_of(category: str, name: str) -> str:
     """Map a span's (category, name) to a blame layer."""
+    if category == "fault":
+        # retransmit backoff waits and other injected-fault recovery time
+        return "fault_recovery"
     if category == "link":
         return "host_metadata" if name in ("am_wire", "am_fetch") else "link"
     if category == "ucx" and name == "am_send":

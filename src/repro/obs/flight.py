@@ -55,6 +55,13 @@ class FlightRecord:
     completed_at: Optional[float] = None  # data landed in the dest buffer
     protocol: Optional[str] = None  # "eager" | "rndv"
     lane: Optional[str] = None  # rendezvous transport lane
+    # fault stage: retransmissions suffered, receive-side cancellations of
+    # earlier posts, and the terminal error ("endpoint_timeout",
+    # "truncated", "cancelled") when the transfer never completed
+    retransmits: int = 0
+    recv_cancels: int = 0
+    error: Optional[str] = None
+    failed_at: Optional[float] = None
 
     # -- derived -----------------------------------------------------------------
     @property
@@ -121,6 +128,10 @@ class FlightRecord:
             "posting_delay": self.posting_delay,
             "delayed_posting_cost": self.delayed_posting_cost,
             "complete": self.complete,
+            "retransmits": self.retransmits,
+            "recv_cancels": self.recv_cancels,
+            "error": self.error,
+            "failed_at": self.failed_at,
         }
 
 
@@ -218,11 +229,49 @@ class FlightRecorder:
         if rec is None:
             return
         rec.completed_at = self.sim.now
-        lst = self._open[tag]
+        self._close(rec)
+
+    def _close(self, rec: FlightRecord) -> None:
+        lst = self._open[rec.tag]
         lst.remove(rec)
         if not lst:
-            del self._open[tag]
+            del self._open[rec.tag]
         self._done.append(rec)
+
+    # -- fault stage --------------------------------------------------------------
+    def retransmitted(self, tag: int) -> None:
+        """One frame of this transfer was faulted and rescheduled."""
+        rec = self._first_missing(tag, "completed_at")
+        if rec is not None:
+            rec.retransmits += 1
+
+    def failed(self, tag: int, error: str) -> None:
+        """The transfer terminally failed (timeout, truncation, or send
+        cancellation): record why and close the record so it cannot absorb
+        the stages of the next same-tag transfer."""
+        rec = self._first_missing(tag, "failed_at")
+        if rec is None:
+            return
+        rec.error = error
+        rec.failed_at = self.sim.now
+        self._close(rec)
+
+    def cancelled(self, tag: int) -> None:
+        """The sender cancelled the transfer before the payload shipped."""
+        self.failed(tag, "cancelled")
+
+    def recv_cancelled(self, tag: int) -> None:
+        """A posted receive for ``tag`` was cancelled before matching: roll
+        the record's posting stages back so a repost fills them afresh (the
+        transfer itself is still in flight from the sender's side)."""
+        for rec in self._open.get(tag, ()):
+            if rec.matched_at is None and (
+                rec.recv_posted_at is not None or rec.ucx_recv_posted_at is not None
+            ):
+                rec.recv_posted_at = None
+                rec.ucx_recv_posted_at = None
+                rec.recv_cancels += 1
+                return
 
     # -- queries ------------------------------------------------------------------
     def records(self) -> List[FlightRecord]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.ampi.mpi import MpiStatus, MpiTruncationError
+from repro.ampi.mpi import MpiCommError, MpiStatus, MpiTruncationError
 from repro.ampi.request import MpiRequest, waitall
 from repro.config import MachineConfig
 from repro.hardware.memory import Buffer
@@ -100,6 +100,12 @@ class OmpiRank:
 
         def _complete(_req) -> None:
             sp.end()
+            if _req.status is not UcsStatus.OK:
+                ev.fail(MpiCommError(
+                    f"MPI_Send r{self.rank}->r{dst} failed: {_req.status.name}",
+                    _req.status,
+                ))
+                return
             ev.succeed(None)
 
         def _post() -> None:
@@ -125,6 +131,13 @@ class OmpiRank:
             sp.end()
             if req.status is UcsStatus.ERR_MESSAGE_TRUNCATED:
                 ev.fail(MpiTruncationError("posted receive too small"))
+                return
+            if req.status is not UcsStatus.OK:
+                # info is None on cancellation/timeout — fail, don't unpack
+                ev.fail(MpiCommError(
+                    f"MPI_Recv on r{self.rank} failed: {req.status.name}",
+                    req.status,
+                ))
                 return
             got_tag, got_len = req.info
             s, t = decode_mpi_tag(got_tag)

@@ -21,11 +21,21 @@ class UcpContext:
         self.cfg = machine.cfg.ucx
         self.cuda = cuda if cuda is not None else CudaRuntime(machine)
         self.gdrcopy = GdrCopy(machine.sim, self.cfg)
+        injector = machine.fault_injector
+        if injector is not None and injector.gdrcopy_probe_fails():
+            # probe failure is a context-init-time event, as with the real
+            # library dlopen: every worker of this context loses the fast path
+            self.gdrcopy.forced_unavailable = True
+            machine.tracer.count("fault", "gdrcopy_forced_off")
         self._workers: Dict[int, "UcpWorker"] = {}
         # NIC registration cache: buffers already pinned for RDMA (keyed by
         # address).  Repeat rendezvous from the same user buffer skip the
         # registration cost, as with UCX's rcache.
         self.reg_cache: set = set()
+        # registrations die with the buffer: address reuse after free must
+        # not be treated as still-pinned (mirrors the device-side
+        # GpuPointerCache invalidation)
+        machine.add_host_free_hook(lambda buf: self.reg_cache.discard(buf.address))
         self._worker_cls = UcpWorker
 
     def create_worker(self, worker_id: int, node: int, socket: int = 0) -> "UcpWorker":

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.hardware.memory import Buffer
+from repro.ucx.constants import CTRL_MSG_BYTES
 from repro.ucx.protocols.common import staging_copy_time
 from repro.ucx.request import UcxRequest
 from repro.ucx.status import UcsStatus
@@ -58,6 +59,17 @@ def start_send(
 
     def _copied() -> None:
         sp.end()
+        if req.completed:
+            # cancelled while staging: the payload never ships, but the
+            # assigned wire_seq slot must still be consumed at the receiver
+            # or the pair's ordered stream stalls behind it forever
+            slot = WireMessage(
+                kind=WireKind.ERR, tag=tag, size=0,
+                src_worker=worker.worker_id, sent_at=worker.sim.now,
+                wire_seq=msg.wire_seq, failed_kind=None,
+            )
+            worker.transmit(remote, slot, CTRL_MSG_BYTES)
+            return
         flight = ctx.machine.tracer.flight
         if flight.enabled:
             flight.send_completed(tag)
@@ -76,12 +88,17 @@ def finish_recv(
     """Complete a matched eager receive: copy out of the bounce, finish."""
     ctx = worker.ctx
     if msg.size > posted.size:
-        worker.sim.schedule(
-            pre_delay,
-            posted.req.complete,
-            UcsStatus.ERR_MESSAGE_TRUNCATED,
-            (msg.tag, msg.size),
-        )
+        trunc_flight = ctx.machine.tracer.flight
+
+        def _truncate() -> None:
+            # close the flight record (same leak as the rendezvous
+            # truncation path: an open record would absorb the next
+            # same-tag transfer's stages)
+            if trunc_flight.enabled:
+                trunc_flight.failed(msg.tag, "truncated")
+            posted.req.complete(UcsStatus.ERR_MESSAGE_TRUNCATED, (msg.tag, msg.size))
+
+        worker.sim.schedule(pre_delay, _truncate)
         return
     copy_out = staging_copy_time(ctx, posted.buf, msg.size)
     tracer = ctx.machine.tracer

@@ -50,6 +50,7 @@ def start_send(
     cfg = worker.ctx.cfg
     rndv_id = next_rndv_id()
     worker.pending_rndv_sends[rndv_id] = req
+    worker._rndv_remote[rndv_id] = remote.worker_id
     msg = WireMessage(
         kind=WireKind.RTS,
         tag=tag,
@@ -87,9 +88,19 @@ def start_transfer(
     cfg = ctx.cfg
     machine = ctx.machine
     sim = worker.sim
+    # the receiver is committed from here on: the sender can no longer
+    # cancel this rendezvous (see UcpWorker.cancel)
+    ctx.worker(msg.src_worker)._rndv_started.add(msg.rndv_id)
 
     if msg.size > posted.size:
+        trunc_flight = machine.tracer.flight
+
         def _truncate() -> None:
+            # close the flight record: a truncated transfer never reaches
+            # completed(), and leaving it open would absorb the stages of
+            # the next same-tag transfer
+            if trunc_flight.enabled:
+                trunc_flight.failed(msg.tag, "truncated")
             posted.req.complete(UcsStatus.ERR_MESSAGE_TRUNCATED, (msg.tag, msg.size))
             # release the sender too: the rendezvous is over
             fin = WireMessage(
@@ -113,8 +124,17 @@ def start_transfer(
     # while the NIC carries earlier chunks of other messages.
     setup = cfg.rndv_rts_cost  # receiver-side RTR/control handling
     pipelined = inter_node and any_device and not cfg.gpudirect_rdma
+    ipc_fallback = False
     if not inter_node and src.on_device and dst.on_device:
-        setup += ipc_setup_cost(ctx, dst.device, src)
+        injector = machine.fault_injector
+        if injector is not None and injector.ipc_open_fails():
+            # cuIpcOpenMemHandle failed: fall back to pipelined staging
+            # through host memory instead of mapping the peer buffer
+            ipc_fallback = True
+            machine.tracer.count("fault", "fallback_pipeline")
+            setup += pipeline_extra_time(machine.cfg, msg.size)
+        else:
+            setup += ipc_setup_cost(ctx, dst.device, src)
     elif pipelined:
         setup += pipeline_extra_time(machine.cfg, msg.size)
     elif inter_node and not any_device:
@@ -124,7 +144,16 @@ def start_transfer(
             ctx.reg_cache.add(src.address)
             setup += cfg.host_rndv_reg_overhead
 
-    if pipelined:
+    if ipc_fallback:
+        # intra-node staging route: source GPU link down to host memory,
+        # then up the destination GPU's link
+        node = machine.nodes[src_loc.node]
+        route = [
+            node.nvlink_tx[machine.local_gpu(src.device)],
+            node.host_mem,
+            node.nvlink_rx[machine.local_gpu(dst.device)],
+        ]
+    elif pipelined:
         # chunked host staging decouples the GPU links from the wire: the
         # NVLink hops overlap the NIC chunk-by-chunk (their cost is the
         # fill/drain above), so the bulk occupies only the NIC segment,
@@ -141,10 +170,10 @@ def start_transfer(
     tracer = machine.tracer
     flight = tracer.flight
     if tracer.enabled or flight.enabled:
-        if not inter_node and src.on_device and dst.on_device:
-            lane = "cuda_ipc"
-        elif pipelined:
+        if pipelined or ipc_fallback:
             lane = "pipeline"
+        elif not inter_node and src.on_device and dst.on_device:
+            lane = "cuda_ipc"
         elif inter_node:
             lane = "rdma_get"
         else:
@@ -153,7 +182,7 @@ def start_transfer(
             flight.lane(msg.tag, lane)
     if tracer.enabled:
         attrs = {"size": msg.size, "tag": msg.tag, "lane": lane}
-        if pipelined:
+        if pipelined or ipc_fallback:
             attrs["chunks"] = pipeline_chunks(machine.cfg, msg.size)
         sp = tracer.span("ucx.rndv", "rndv_fetch", parent=posted.req.span, **attrs)
     else:
@@ -192,7 +221,13 @@ def finish_send(worker: "UcpWorker", msg: WireMessage) -> None:
     """FIN arrived back at the sender: complete the pending send request."""
     req = worker.pending_rndv_sends.pop(msg.rndv_id, None)
     if req is None:
+        if msg.rndv_id in worker._rndv_done or msg.rndv_id in worker._rndv_cancelled:
+            # duplicate or late FIN for a rendezvous that already ended
+            # (sender timed out, or the FIN was stalled and retransmitted)
+            worker.ctx.machine.tracer.count("ucx", "late_fin_ignored")
+            return
         raise RuntimeError(f"FIN for unknown rendezvous id {msg.rndv_id}")
+    worker._rndv_done.add(msg.rndv_id)
     flight = worker.ctx.machine.tracer.flight
     if flight.enabled:
         flight.send_completed(msg.tag)

@@ -26,7 +26,7 @@ class UcxRequest:
 
     __slots__ = (
         "sim", "kind", "tag", "size", "cb", "event",
-        "status", "info", "posted_at", "completed_at", "span",
+        "status", "info", "posted_at", "completed_at", "span", "op",
     )
 
     def __init__(
@@ -49,6 +49,8 @@ class UcxRequest:
         self.completed_at: Optional[float] = None
         # observability: the tracing span covering this request, if any
         self.span: Any = None
+        # which API created the request: "tag" (cancellable) or "am"
+        self.op = "tag"
 
     @property
     def completed(self) -> bool:

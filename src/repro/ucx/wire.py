@@ -14,6 +14,7 @@ class WireKind(enum.Enum):
     EAGER = "eager"  # payload travels with the message (in a bounce buffer)
     RTS = "rts"  # rendezvous ready-to-send (descriptor of the source)
     FIN = "fin"  # rendezvous completion notification back to the sender
+    ERR = "err"  # endpoint-error notification (a frame's sender gave up)
 
 
 _rndv_ids = itertools.count(1)
@@ -48,3 +49,8 @@ class WireMessage:
     #: must follow send order even though small control frames physically
     #: overtake bulk data in the link model.  None = unsequenced (FIN).
     wire_seq: Optional[int] = None
+    #: for ERR notifications: which frame kind timed out.  An ERR for a
+    #: sequenced frame inherits its wire_seq (the receiver must consume the
+    #: slot or the ordered stream stalls forever); an ERR for a FIN carries
+    #: the rndv_id so the original sender's pending request can fail.
+    failed_kind: Optional[WireKind] = None

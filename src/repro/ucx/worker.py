@@ -18,14 +18,31 @@ host-side lookup is O(1) amortised for full-mask traffic while the *modeled*
 ``tag_match_cost * scanned`` delay still charges the virtual linear-scan
 length.  ``UcxConfig.indexed_matching=False`` selects the reference linear
 lists; simulated results are bit-identical either way.
+
+Fault injection and recovery
+----------------------------
+
+When the machine carries a non-empty :class:`~repro.faults.plan.FaultPlan`,
+every non-loopback frame consults the :class:`~repro.faults.injector.
+FaultInjector` before hitting the wire.  A faulted frame is retransmitted
+after an exponential-backoff wait; a frame that exhausts its budget makes
+the sender *give up*: the pending request (if any) fails with
+``ERR_ENDPOINT_TIMEOUT`` and a ``WireKind.ERR`` notification is delivered
+to the peer.  The notification models the peer's own timeout firing for the
+same frame — the model's failure detector is symmetric — so it travels
+out-of-band (zero extra delay, never itself faulted).  Sequenced ERR frames
+inherit the lost frame's ``wire_seq``: the ordered per-pair stream *must*
+consume every slot or it stalls behind the loss forever.  Receivers drop
+retransmit duplicates by sequence number (already-delivered or held).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.matchq import make_match_queue
+from repro.faults.injector import CORRUPT, STALL
 from repro.hardware.links import path_transfer
 from repro.hardware.memory import Buffer
 from repro.obs.metrics import LATENCY_BUCKETS
@@ -83,6 +100,15 @@ class UcpWorker:
         self._am_tx_seq: Dict[int, int] = {}
         self._am_rx_next: Dict[int, int] = {}
         self._am_rx_held: Dict[int, dict] = {}
+        # rendezvous lifecycle, for cancellation and loss recovery:
+        # ids that finished (FIN seen / gave up) so late or duplicate FINs
+        # are ignored; ids the local sender cancelled; ids whose receiver
+        # already committed to the data fetch (cancellation fails); and
+        # which remote each locally-initiated id was addressed to
+        self._rndv_done: Set[int] = set()
+        self._rndv_cancelled: Set[int] = set()
+        self._rndv_started: Set[int] = set()
+        self._rndv_remote: Dict[int, int] = {}
         # statistics
         self.sends = 0
         self.recvs = 0
@@ -237,15 +263,65 @@ class UcpWorker:
         return None if msg is None else (msg.tag, msg.size)
 
     def cancel(self, req: UcxRequest) -> bool:
-        """``ucp_request_cancel``: cancel a posted receive that has not
-        matched yet.  Returns True if cancelled (request completes with
-        ``ERR_CANCELED``), False if it already matched/completed."""
+        """``ucp_request_cancel``.
+
+        * A posted **receive** is cancellable until it matches.
+        * An **eager send** is cancellable until its payload has been staged
+          onto the wire (the copy-in window).
+        * A **rendezvous send** is cancellable until the receiver commits to
+          the data fetch: while the RTS is in flight or sitting unmatched in
+          the peer's unexpected queue, cancellation retracts it.
+
+        A successful cancel completes the request with ``ERR_CANCELED``
+        (closing its tracing span through the completion callback) and
+        cleans up the flight record so a reposted same-tag operation does
+        not inherit the cancelled one's stages.  Returns ``True`` iff the
+        request was cancelled.
+        """
         if req.completed:
             return False
-        if self.posted.remove_first(lambda p: p.req is req) is not None:
+        tracer = self.ctx.machine.tracer
+        flight = tracer.flight
+        if req.kind is RequestKind.RECV:
+            if self.posted.remove_first(lambda p: p.req is req) is None:
+                return False
+            tracer.count("ucx", "cancel_recv")
+            if flight.enabled:
+                flight.recv_cancelled(req.tag)
             req.complete(UcsStatus.ERR_CANCELED)
             return True
-        return False
+        if getattr(req, "op", "tag") == "am":
+            return False  # AM sends are not cancellable (no UCP handle)
+        for rid, pending in self.pending_rndv_sends.items():
+            if pending is not req:
+                continue
+            if rid in self._rndv_started:
+                return False  # receiver is already fetching the data
+            del self.pending_rndv_sends[rid]
+            # the RTS still consumes its wire_seq slot at the receiver (it
+            # is dropped there, see _process_in_order), so the ordered
+            # stream keeps flowing past the cancelled message
+            self._rndv_cancelled.add(rid)
+            self._rndv_done.add(rid)
+            remote_id = self._rndv_remote.get(rid)
+            if remote_id is not None:
+                # retract the RTS if it sits unmatched at the peer
+                self.ctx.worker(remote_id).unexpected.remove_first(
+                    lambda m: m.kind is WireKind.RTS and m.rndv_id == rid
+                )
+            tracer.count("ucx", "cancel_send")
+            if flight.enabled:
+                flight.cancelled(req.tag)
+            req.complete(UcsStatus.ERR_CANCELED)
+            return True
+        # an eager send still staging its payload; the copy-in closure sees
+        # the completed request and emits a slot-consuming ERR frame instead
+        # of the payload
+        tracer.count("ucx", "cancel_send")
+        if flight.enabled:
+            flight.cancelled(req.tag)
+        req.complete(UcsStatus.ERR_CANCELED)
+        return True
 
     # -- active-message host path -----------------------------------------------
     #
@@ -261,6 +337,12 @@ class UcpWorker:
         when an AM host message is delivered to this worker."""
         self._am_handler = handler
 
+    def set_am_error_handler(self, handler) -> None:
+        """Install the callable invoked as ``handler(size, src_id)`` when an
+        AM host message from ``src_id`` is detected as lost (its sender
+        exhausted the retransmit budget).  Without one, a loss raises."""
+        self._am_error_handler = handler
+
     def am_send(self, ep: UcpEndpoint, size: int, payload=None) -> UcxRequest:
         """Send a host message of ``size`` bytes carrying ``payload`` (any
         Python object; not copied) to ``ep.remote``'s AM handler."""
@@ -272,6 +354,7 @@ class UcpWorker:
         cfg = self.ctx.cfg
         topo = self.ctx.machine.cfg.topology
         req = UcxRequest(self.sim, RequestKind.SEND, 0, size, None)
+        req.op = "am"
         remote = ep.remote
         tracer = self.ctx.machine.tracer
         tracer.count("ucx", "am_send")
@@ -284,12 +367,14 @@ class UcpWorker:
             req.span = sp
             req.cb = lambda r, _sp=sp: _sp.end()
 
+        # both AM protocols share one per-pair sequence stream: delivery
+        # follows send order even across the eager/rendezvous boundary (a
+        # small message sent after a large one must not overtake its fetch)
+        seq = self._am_tx_seq.get(remote.worker_id, 0)
+        self._am_tx_seq[remote.worker_id] = seq + 1
+
         if size < cfg.host_rndv_threshold:
-            # eager: copy-in, wire, copy-out.  Eager host messages carry a
-            # per-pair sequence so delivery follows send order even when a
-            # small frame physically lands first (ordered-QP semantics).
-            seq = self._am_tx_seq.get(remote.worker_id, 0)
-            self._am_tx_seq[remote.worker_id] = seq + 1
+            # eager: copy-in, wire, copy-out
             copy = topo.host_mem.transfer_time(size)
             delay = cfg.send_overhead + cfg.request_alloc_cost + copy
 
@@ -303,12 +388,23 @@ class UcpWorker:
             delay = cfg.send_overhead + cfg.request_alloc_cost + cfg.rndv_rts_cost
 
             def _send_rts() -> None:
-                self._am_wire(remote, CTRL_MSG_BYTES, None, rndv=(size, payload, req))
+                self._am_wire(
+                    remote, CTRL_MSG_BYTES, None, rndv=(size, payload, req), seq=seq
+                )
 
             self.sim.schedule(delay, _send_rts)
         return req
 
-    def _am_wire(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float = 0.0, rndv=None, seq=None) -> None:
+    def _am_wire(
+        self,
+        remote: "UcpWorker",
+        nbytes: int,
+        payload,
+        extra_rx: float = 0.0,
+        rndv=None,
+        seq=None,
+        attempt: int = 0,
+    ) -> None:
         machine = self.ctx.machine
         tracer = machine.tracer
         if remote.worker_id == self.worker_id:
@@ -324,47 +420,123 @@ class UcpWorker:
                     LOOPBACK_LATENCY, self._am_arrive, remote, nbytes, payload, extra_rx, rndv, seq
                 )
             return
+        injector = machine.fault_injector
+        if injector is None:
+            self._am_put_on_wire(remote, nbytes, payload, extra_rx, rndv, seq)
+            return
+        fault = injector.frame_fault(
+            self.worker_id, remote.worker_id, "am", self.sim.now
+        )
+        if fault is None:
+            self._am_put_on_wire(remote, nbytes, payload, extra_rx, rndv, seq)
+            return
+        verb, stall = fault
+        if verb == STALL:
+            # late, not lost: deliver with the stall added; if the stall
+            # outlives the retry timer the sender also retransmits, and the
+            # receiver dedups the duplicate by sequence number
+            self._am_put_on_wire(
+                remote, nbytes, payload, extra_rx, rndv, seq, extra_time=stall
+            )
+            if attempt < injector.max_retries and stall >= injector.retry_wait(attempt):
+                self._am_schedule_retransmit(
+                    remote, nbytes, payload, extra_rx, rndv, seq, injector, attempt
+                )
+            return
+        if verb == CORRUPT:
+            # the frame occupies the wire but fails its integrity check
+            route = machine.route(
+                machine.host_location(self.node, self.socket),
+                machine.host_location(remote.node, remote.socket),
+            )
+            path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES)
+        if attempt >= injector.max_retries:
+            self._am_give_up(remote, nbytes, rndv, seq)
+            return
+        self._am_schedule_retransmit(
+            remote, nbytes, payload, extra_rx, rndv, seq, injector, attempt
+        )
+
+    def _am_put_on_wire(
+        self,
+        remote: "UcpWorker",
+        nbytes: int,
+        payload,
+        extra_rx: float,
+        rndv,
+        seq,
+        extra_time: float = 0.0,
+    ) -> None:
+        machine = self.ctx.machine
+        tracer = machine.tracer
         route = machine.route(
             machine.host_location(self.node, self.socket),
             machine.host_location(remote.node, remote.socket),
         )
         if tracer.enabled:
             sp = tracer.span("link", "am_wire", bytes=nbytes)
-            path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
+            path_transfer(
+                self.sim, route, nbytes + WIRE_HEADER_BYTES, extra_time=extra_time
+            ).add_callback(
                 lambda _ev: (sp.end(),
                              self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq))
             )
         else:
-            path_transfer(self.sim, route, nbytes + WIRE_HEADER_BYTES).add_callback(
+            path_transfer(
+                self.sim, route, nbytes + WIRE_HEADER_BYTES, extra_time=extra_time
+            ).add_callback(
                 lambda _ev: self._am_arrive(remote, nbytes, payload, extra_rx, rndv, seq)
+            )
+
+    def _am_schedule_retransmit(
+        self, remote, nbytes, payload, extra_rx, rndv, seq, injector, attempt
+    ) -> None:
+        tracer = self.ctx.machine.tracer
+        tracer.count("fault", "retransmit")
+        wait = injector.retry_wait(attempt)
+        if tracer.enabled:
+            tracer.span(
+                "fault", "retransmit_wait", kind="am", attempt=attempt,
+            ).close_at(self.sim.now + wait)
+        self.sim.schedule(
+            wait, self._am_wire, remote, nbytes, payload, extra_rx, rndv, seq,
+            attempt + 1,
+        )
+
+    def _am_give_up(self, remote: "UcpWorker", nbytes: int, rndv, seq) -> None:
+        """The retransmit budget for an AM frame is exhausted."""
+        tracer = self.ctx.machine.tracer
+        tracer.count("fault", "endpoint_timeout")
+        if rndv is not None:
+            size, _payload, send_req = rndv
+            if not send_req.completed:
+                send_req.complete(UcsStatus.ERR_ENDPOINT_TIMEOUT)
+            lost = size
+        else:
+            lost = nbytes
+        if seq is not None:
+            # the receiver must consume the sequence slot or its ordered AM
+            # stream stalls behind the lost message forever; a "lost" entry
+            # surfaces the error at delivery order
+            self.sim.schedule(
+                0.0, remote._am_enqueue, self.worker_id, seq, ("lost", lost)
             )
 
     def _am_arrive(self, remote: "UcpWorker", nbytes: int, payload, extra_rx: float, rndv, seq=None) -> None:
         cfg = self.ctx.cfg
         machine = self.ctx.machine
+        src = self.worker_id
         if rndv is None:
-            src = self.worker_id
-            if seq is not None:
-                expected = remote._am_rx_next.get(src, 0)
-                if seq != expected:
-                    remote._am_rx_held.setdefault(src, {})[seq] = (
-                        nbytes, payload, extra_rx
-                    )
-                    return
-            remote._am_deliver(nbytes, payload, src, cfg.progress_overhead + extra_rx)
-            if seq is not None:
-                remote._am_rx_next[src] = seq + 1
-                held = remote._am_rx_held.get(src)
-                while held:
-                    nxt = remote._am_rx_next[src]
-                    entry = held.pop(nxt, None)
-                    if entry is None:
-                        break
-                    n2, p2, x2 = entry
-                    remote._am_deliver(n2, p2, src, cfg.progress_overhead + x2)
-                    remote._am_rx_next[src] = nxt + 1
+            if seq is None:
+                remote._am_deliver(nbytes, payload, src, cfg.progress_overhead + extra_rx)
+                return
+            remote._am_enqueue(src, seq, ("msg", nbytes, payload, extra_rx))
             return
         size, data_payload, send_req = rndv
+        if seq is not None and not remote._am_reserve(src, seq):
+            # duplicate RTS from a stall-retransmit race: one fetch only
+            machine.tracer.count("fault", "duplicate_dropped")
+            return
         # receiver fetches the data with a single copy (CMA within a node,
         # RDMA get across nodes; the latter pins the pages first -- a CPU/
         # driver cost that delays the get without occupying the wire)
@@ -375,8 +547,14 @@ class UcpWorker:
         reg = cfg.host_rndv_reg_overhead if remote.node != self.node else 0.0
 
         def _fetched(_ev) -> None:
-            send_req.complete()
-            remote._am_deliver(size, data_payload, self.worker_id, cfg.progress_overhead)
+            if not send_req.completed:
+                send_req.complete()
+            if seq is None:
+                remote._am_deliver(size, data_payload, src, cfg.progress_overhead)
+            else:
+                remote._am_enqueue(
+                    src, seq, ("msg", size, data_payload, 0.0), reserved=True
+                )
 
         tracer = machine.tracer
 
@@ -392,6 +570,61 @@ class UcpWorker:
         self.sim.schedule(
             cfg.progress_overhead + cfg.rndv_rts_cost + reg, _start_fetch
         )
+
+    # -- AM receive ordering ------------------------------------------------------
+    #
+    # Held entries per source are tagged tuples:
+    #   ("msg", nbytes, payload, extra_rx)  — ready to deliver
+    #   ("pending",)                        — rendezvous fetch in progress
+    #   ("lost", nbytes)                    — sender gave up on this slot
+
+    def _am_reserve(self, src: int, seq: int) -> bool:
+        """Claim ``seq`` for an in-progress rendezvous fetch.  Returns False
+        when the slot was already delivered, reserved, or filled (the frame
+        is a retransmit duplicate)."""
+        if seq < self._am_rx_next.get(src, 0):
+            return False
+        held = self._am_rx_held.setdefault(src, {})
+        if seq in held:
+            return False
+        held[seq] = ("pending",)
+        return True
+
+    def _am_enqueue(self, src: int, seq: int, entry, reserved: bool = False) -> None:
+        """File ``entry`` under ``seq`` and deliver everything now in order.
+        Duplicates (slot already delivered or occupied) are dropped unless
+        the caller holds the slot's reservation."""
+        held = self._am_rx_held.setdefault(src, {})
+        if not reserved:
+            if seq < self._am_rx_next.get(src, 0) or seq in held:
+                self.ctx.machine.tracer.count("fault", "duplicate_dropped")
+                return
+        held[seq] = entry
+        self._am_drain(src)
+
+    def _am_drain(self, src: int) -> None:
+        cfg = self.ctx.cfg
+        held = self._am_rx_held.get(src)
+        while held:
+            nxt = self._am_rx_next.get(src, 0)
+            entry = held.get(nxt)
+            if entry is None or entry[0] == "pending":
+                return
+            del held[nxt]
+            self._am_rx_next[src] = nxt + 1
+            if entry[0] == "lost":
+                tracer = self.ctx.machine.tracer
+                tracer.count("fault", "am_message_lost")
+                handler = getattr(self, "_am_error_handler", None)
+                if handler is None:
+                    raise UcxError(
+                        f"worker {self.worker_id}: AM message from {src} lost "
+                        f"({entry[1]} bytes) and no AM error handler installed"
+                    )
+                handler(entry[1], src)
+                continue
+            _kind, nbytes, payload, extra_rx = entry
+            self._am_deliver(nbytes, payload, src, cfg.progress_overhead + extra_rx)
 
     def _am_deliver(self, size: int, payload, src_id: int, delay: float) -> None:
         handler = getattr(self, "_am_handler", None)
@@ -417,7 +650,9 @@ class UcpWorker:
 
         Control and eager messages travel host-to-host (device payloads were
         staged by the eager protocol before transmit).  Loopback bypasses
-        the link fabric.
+        the link fabric.  With fault injection active, non-loopback frames
+        go through the retransmit machinery; ERR notifications are exempt
+        (they model the symmetric timeout, not a frame).
         """
         nbytes = (wire_bytes if wire_bytes is not None else msg.size) + WIRE_HEADER_BYTES
         tracer = self.ctx.machine.tracer
@@ -431,36 +666,137 @@ class UcpWorker:
             else:
                 self.sim.schedule(LOOPBACK_LATENCY, remote._on_wire, msg)
             return
+        injector = self.ctx.machine.fault_injector
+        if injector is not None and msg.kind is not WireKind.ERR:
+            self._transmit_faulty(remote, msg, nbytes, injector, 0)
+            return
+        self._put_on_wire(remote, msg, nbytes)
+
+    def _put_on_wire(
+        self, remote: "UcpWorker", msg: WireMessage, nbytes: int,
+        extra_time: float = 0.0,
+    ) -> None:
         machine = self.ctx.machine
+        tracer = machine.tracer
         route = machine.route(
             machine.host_location(self.node), machine.host_location(remote.node)
         )
         if tracer.enabled:
             sp = tracer.span("link", "wire", kind=msg.kind.name,
                              tag=msg.tag, bytes=nbytes)
-            path_transfer(self.sim, route, nbytes).add_callback(
+            path_transfer(self.sim, route, nbytes, extra_time=extra_time).add_callback(
                 lambda _ev: (sp.end(), remote._on_wire(msg))
             )
         else:
-            path_transfer(self.sim, route, nbytes).add_callback(
+            path_transfer(self.sim, route, nbytes, extra_time=extra_time).add_callback(
                 lambda _ev: remote._on_wire(msg)
             )
+
+    def _transmit_faulty(
+        self, remote: "UcpWorker", msg: WireMessage, nbytes: int, injector, attempt: int
+    ) -> None:
+        fault = injector.frame_fault(
+            self.worker_id, remote.worker_id, msg.kind.value, self.sim.now
+        )
+        if fault is None:
+            self._put_on_wire(remote, msg, nbytes)
+            return
+        verb, stall = fault
+        if verb == STALL:
+            # late, not lost: deliver with the stall added; when the stall
+            # outlives the retry timer, the sender retransmits anyway and
+            # the receiver drops whichever copy arrives second
+            self._put_on_wire(remote, msg, nbytes, extra_time=stall)
+            if attempt < injector.max_retries and stall >= injector.retry_wait(attempt):
+                self._schedule_retransmit(remote, msg, nbytes, injector, attempt)
+            return
+        if verb == CORRUPT:
+            # the frame occupies the wire but fails its integrity check
+            machine = self.ctx.machine
+            route = machine.route(
+                machine.host_location(self.node), machine.host_location(remote.node)
+            )
+            path_transfer(self.sim, route, nbytes)
+        if attempt >= injector.max_retries:
+            self._give_up(remote, msg)
+            return
+        self._schedule_retransmit(remote, msg, nbytes, injector, attempt)
+
+    def _schedule_retransmit(
+        self, remote: "UcpWorker", msg: WireMessage, nbytes: int, injector, attempt: int
+    ) -> None:
+        tracer = self.ctx.machine.tracer
+        tracer.count("fault", "retransmit")
+        flight = tracer.flight
+        if flight.enabled and msg.kind in (WireKind.EAGER, WireKind.RTS):
+            flight.retransmitted(msg.tag)
+        wait = injector.retry_wait(attempt)
+        if tracer.enabled:
+            tracer.span(
+                "fault", "retransmit_wait",
+                kind=msg.kind.name, tag=msg.tag, attempt=attempt,
+            ).close_at(self.sim.now + wait)
+        self.sim.schedule(
+            wait, self._transmit_faulty, remote, msg, nbytes, injector, attempt + 1
+        )
+
+    def _give_up(self, remote: "UcpWorker", msg: WireMessage) -> None:
+        """A tagged-path frame exhausted its retransmit budget."""
+        tracer = self.ctx.machine.tracer
+        tracer.count("fault", "endpoint_timeout")
+        flight = tracer.flight
+        if msg.kind is WireKind.FIN:
+            # the lost FIN's destination is the original rendezvous sender:
+            # surface the timeout on its still-pending send request
+            err = WireMessage(
+                kind=WireKind.ERR, tag=msg.tag, size=msg.size,
+                src_worker=self.worker_id, rndv_id=msg.rndv_id,
+                sent_at=self.sim.now, failed_kind=WireKind.FIN,
+            )
+            self.sim.schedule(0.0, remote._on_wire, err)
+            return
+        if flight.enabled:
+            flight.failed(msg.tag, "endpoint_timeout")
+        if msg.kind is WireKind.RTS:
+            req = self.pending_rndv_sends.pop(msg.rndv_id, None)
+            self._rndv_done.add(msg.rndv_id)
+            if req is not None and not req.completed:
+                req.complete(UcsStatus.ERR_ENDPOINT_TIMEOUT)
+        err = WireMessage(
+            kind=WireKind.ERR, tag=msg.tag, size=msg.size,
+            src_worker=self.worker_id, rndv_id=msg.rndv_id,
+            sent_at=self.sim.now, wire_seq=msg.wire_seq, failed_kind=msg.kind,
+        )
+        self.sim.schedule(0.0, remote._on_wire, err)
 
     def _on_wire(self, msg: WireMessage) -> None:
         """A message arrived (called at its simulated arrival instant)."""
         tracer = self.ctx.machine.tracer
         tracer.count("ucx", "arrive")
         tracer.charge("ucx", self.ctx.cfg.progress_overhead)
+        if msg.kind is WireKind.ERR and msg.failed_kind is WireKind.FIN:
+            # a FIN addressed to us was lost: our rendezvous send will never
+            # see its completion notification — fail it
+            req = self.pending_rndv_sends.pop(msg.rndv_id, None)
+            self._rndv_done.add(msg.rndv_id)
+            if req is not None and not req.completed:
+                req.complete(UcsStatus.ERR_ENDPOINT_TIMEOUT)
+            return
         if msg.kind is WireKind.FIN:
             rndv_proto.finish_send(self, msg)
             return
         # enforce per-pair matching order: hold early arrivals until their
-        # predecessors on the same directed pair have been processed
+        # predecessors on the same directed pair have been processed, and
+        # drop retransmit duplicates (slot already delivered or held)
         src = msg.src_worker
-        expected = self._rx_next.get(src, 0)
-        if msg.wire_seq is not None and msg.wire_seq != expected:
-            self._rx_held.setdefault(src, {})[msg.wire_seq] = msg
-            return
+        if msg.wire_seq is not None:
+            expected = self._rx_next.get(src, 0)
+            if msg.wire_seq < expected or msg.wire_seq in self._rx_held.get(src, {}):
+                tracer.count("fault", "duplicate_dropped")
+                return
+            if msg.wire_seq != expected:
+                self._rx_held.setdefault(src, {})[msg.wire_seq] = msg
+                return
         self._process_in_order(msg)
         held = self._rx_held.get(src)
         while held:
@@ -475,6 +811,16 @@ class UcpWorker:
         src = msg.src_worker
         if msg.wire_seq is not None:
             self._rx_next[src] = msg.wire_seq + 1
+        if msg.kind is WireKind.ERR and msg.failed_kind is None:
+            # slot consumer for a cancelled eager send: the sequence
+            # advances but there is nothing to match
+            self.ctx.machine.tracer.count("ucx", "cancelled_frame_slot")
+            return
+        if msg.kind is WireKind.RTS and msg.rndv_id in self.ctx.worker(src)._rndv_cancelled:
+            # the sender cancelled while the RTS was in flight: consume the
+            # sequence slot but never match the descriptor
+            self.ctx.machine.tracer.count("ucx", "cancelled_rts_dropped")
+            return
         base = cfg.progress_overhead
         # posted receives with a full mask are bucketed under their tag;
         # masked receives live in the wildcard fallback and are checked via
@@ -506,5 +852,12 @@ class UcpWorker:
             eager_proto.finish_recv(self, msg, posted, delay)
         elif msg.kind is WireKind.RTS:
             rndv_proto.start_transfer(self, msg, posted, delay)
+        elif msg.kind is WireKind.ERR:
+            # the peer exhausted its retransmit budget for the frame this
+            # receive would have consumed
+            self.sim.schedule(
+                delay, posted.req.complete,
+                UcsStatus.ERR_ENDPOINT_TIMEOUT, (msg.tag, msg.size),
+            )
         else:  # pragma: no cover - defensive
             raise UcxError(f"unmatchable wire kind {msg.kind}")

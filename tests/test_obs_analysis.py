@@ -139,6 +139,56 @@ class TestRecorderFifoPerTag:
         assert fr.aggregate()["n_records"] == 0
 
 
+class TestRecorderFaultStages:
+    def test_retransmit_counted_on_open_record(self):
+        sim = Simulator()
+        fr = FlightRecorder(sim, enabled=True)
+        fr.begin(3, src_pe=0, dst_pe=1, size=8)
+        fr.retransmitted(3)
+        fr.retransmitted(3)
+        fr.completed(3)
+        (rec,) = fr.records()
+        assert rec.retransmits == 2 and rec.complete
+        doc = rec.to_dict()
+        assert doc["retransmits"] == 2
+        assert doc["error"] is None and doc["failed_at"] is None
+
+    def test_failed_closes_record_with_error(self):
+        sim = Simulator()
+        fr = FlightRecorder(sim, enabled=True)
+        fr.begin(4, src_pe=0, dst_pe=1, size=8)
+        sim.schedule(5e-6, lambda: fr.failed(4, "endpoint_timeout"))
+        sim.run()
+        (rec,) = fr.records()
+        assert rec.error == "endpoint_timeout"
+        assert rec.failed_at == pytest.approx(5e-6)
+        assert not rec.complete  # failed, not completed
+        assert rec.to_dict()["error"] == "endpoint_timeout"
+        # the record is closed: later same-tag stages cannot land on it
+        fr.completed(4)
+        assert rec.completed_at is None
+
+    def test_cancelled_is_failure_with_cancelled_error(self):
+        fr = FlightRecorder(Simulator(), enabled=True)
+        fr.begin(5, src_pe=0, dst_pe=1, size=8)
+        fr.cancelled(5)
+        (rec,) = fr.records()
+        assert rec.error == "cancelled"
+
+    def test_recv_cancel_clears_posting_stages(self):
+        fr = FlightRecorder(Simulator(), enabled=True)
+        fr.begin(6, src_pe=0, dst_pe=1, size=8)
+        fr.recv_posted(6)
+        fr.recv_cancelled(6)
+        (rec,) = fr.records()
+        assert rec.recv_posted_at is None
+        assert rec.recv_cancels == 1
+        # a repost then lands normally on the same record
+        fr.recv_posted(6)
+        fr.completed(6)
+        assert rec.recv_posted_at is not None and rec.complete
+
+
 # ---------------------------------------------------------------------------
 # critical path, hand-computed
 # ---------------------------------------------------------------------------
@@ -155,6 +205,8 @@ class TestLayerMap:
         assert layer_of("ucx.rndv", "transfer") == "ucx_protocol"
         assert layer_of("machine", "lrts_send_device") == "machine"
         assert layer_of("converse", "cmi_send") == "host_metadata"
+        assert layer_of("fault", "retransmit_wait") == "fault_recovery"
+        assert layer_of("fault", "anything") == "fault_recovery"
         for model in ("ampi", "openmpi", "charm", "charm4py", "osu", "jacobi3d"):
             assert layer_of(model, "x") == "model"
         assert layer_of("mystery", "x") == "other"

@@ -277,15 +277,132 @@ class TestAmPath:
             m.sim.run()
 
     def test_ordering_mixed_rndv_eager(self):
-        """A small eager AM can overtake an earlier *rendezvous* AM (its
-        delivery waits for the data fetch); the eager stream itself is
-        strictly ordered (see test_wire_ordering.py).  Converse-level users
-        that need ordering (AMPI envelopes) therefore stay below the
-        rendezvous threshold."""
+        """The AM stream is strictly ordered per directed pair even when a
+        rendezvous AM (delivery waits for the data fetch) is followed by a
+        small eager one: the receiver holds the eager delivery until the
+        earlier rendezvous message's data has landed."""
         m, ctx, wa, wb = make_pair()
         got = []
         wb.set_am_handler(lambda payload, size, src: got.append(payload))
         wa.am_send(wa.ep(1), 64 * KB, payload="big-first")  # rndv
         wa.am_send(wa.ep(1), 64, payload="small-second")  # eager
         m.sim.run()
-        assert set(got) == {"big-first", "small-second"}
+        assert got == ["big-first", "small-second"]
+
+    def test_ordering_many_interleaved_rndv_eager(self):
+        m, ctx, wa, wb = make_pair()
+        got = []
+        wb.set_am_handler(lambda payload, size, src: got.append(payload))
+        sent = []
+        for i in range(8):
+            size = 64 * KB if i % 2 == 0 else 64
+            wa.am_send(wa.ep(1), size, payload=i)
+            sent.append(i)
+        m.sim.run()
+        assert got == sent
+
+
+class TestCancel:
+    def test_cancel_posted_recv_then_repost(self):
+        m, ctx, wa, wb = make_pair()
+        dst = m.alloc_host(0, 64)
+        rreq = wb.tag_recv_nb(dst, 64, tag=4)
+        assert wb.cancel(rreq) is True
+        assert rreq.status is UcsStatus.ERR_CANCELED
+        assert len(wb.posted) == 0
+        # the tag is free for a fresh post; traffic flows normally
+        src = m.alloc_host(0, 64)
+        src.data[:] = 3
+        r2 = wb.tag_recv_nb(dst, 64, tag=4)
+        wa.tag_send_nb(wa.ep(1), src, 64, tag=4)
+        m.sim.run()
+        assert r2.completed and r2.status is UcsStatus.OK
+        assert (dst.data == 3).all()
+
+    def test_cancel_completed_request_returns_false(self):
+        m, ctx, wa, wb = make_pair()
+        src, dst = m.alloc_host(0, 8), m.alloc_host(0, 8)
+        rreq = wb.tag_recv_nb(dst, 8, tag=1)
+        sreq = wa.tag_send_nb(wa.ep(1), src, 8, tag=1)
+        m.sim.run()
+        assert wb.cancel(rreq) is False
+        assert wa.cancel(sreq) is False
+
+    def test_cancel_eager_send_before_staging_does_not_deliver(self):
+        m, ctx, wa, wb = make_pair()
+        src = m.alloc_host(0, 64)
+        sreq = wa.tag_send_nb(wa.ep(1), src, 64, tag=7)
+        assert wa.cancel(sreq) is True
+        assert sreq.status is UcsStatus.ERR_CANCELED
+        m.sim.run()
+        assert len(wb.unexpected) == 0
+        # the cancelled frame's wire slot is consumed: later same-pair
+        # traffic still arrives in order
+        src2, dst2 = m.alloc_host(0, 8), m.alloc_host(0, 8)
+        src2.data[:] = 5
+        r2 = wb.tag_recv_nb(dst2, 8, tag=8)
+        wa.tag_send_nb(wa.ep(1), src2, 8, tag=8)
+        m.sim.run()
+        assert r2.completed and (dst2.data == 5).all()
+
+    def test_cancel_rndv_send_before_match_retracts_rts(self):
+        m, ctx, wa, wb = make_pair()
+        size = 1 * MB
+        src = m.alloc_host(0, size)
+        sreq = wa.tag_send_nb(wa.ep(1), src, size, tag=6)
+        m.sim.run()  # RTS parked in wb's unexpected queue
+        assert len(wb.unexpected) == 1
+        assert wa.cancel(sreq) is True
+        assert sreq.status is UcsStatus.ERR_CANCELED
+        assert len(wb.unexpected) == 0
+        # a matching recv posted afterwards must simply stay pending
+        dst = m.alloc_host(0, size)
+        rreq = wb.tag_recv_nb(dst, size, tag=6)
+        m.sim.run()
+        assert not rreq.completed
+
+    def test_cancel_rndv_send_after_transfer_started_fails(self):
+        m, ctx, wa, wb = make_pair()
+        size = 1 * MB
+        src, dst = m.alloc_host(0, size), m.alloc_host(0, size)
+        rreq = wb.tag_recv_nb(dst, size, tag=6)
+        sreq = wa.tag_send_nb(wa.ep(1), src, size, tag=6)
+        # drain until the receiver has committed to the transfer
+        while not wa._rndv_started and m.sim.step():
+            pass
+        assert wa._rndv_started
+        assert wa.cancel(sreq) is False
+        m.sim.run()
+        assert sreq.completed and rreq.completed
+
+    def test_cancel_am_send_unsupported(self):
+        m, ctx, wa, wb = make_pair()
+        wb.set_am_handler(lambda payload, size, src: None)
+        req = wa.am_send(wa.ep(1), 1 * MB, payload="x")
+        assert wa.cancel(req) is False
+        m.sim.run()
+        assert req.completed
+
+
+class TestHostFreeHooks:
+    def test_free_host_invalidates_reg_cache(self):
+        m, ctx, wa, wb = make_pair(gpus=(0, 6))  # inter-node: host rndv pins
+        size = 256 * KB
+        src = m.alloc_host(0, size)
+        dst = m.alloc_host(1, size)
+        wb.tag_recv_nb(dst, size, tag=1)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=1)
+        m.sim.run()
+        assert src.address in ctx.reg_cache  # pinned by the transfer
+        m.free_host(src)
+        assert src.address not in ctx.reg_cache  # dropped with the buffer
+
+    def test_free_host_rejects_device_and_double_free(self):
+        m, ctx, wa, wb = make_pair()
+        dev = m.alloc_device(0, 64)
+        with pytest.raises(ValueError):
+            m.free_host(dev)
+        buf = m.alloc_host(0, 64)
+        m.free_host(buf)
+        with pytest.raises(RuntimeError):
+            m.free_host(buf)
