@@ -14,6 +14,7 @@ from repro.bench.baseline import apply_override, main
 from repro.config import MachineConfig
 from repro.obs.baseline import (
     DEFAULT_BASELINE_PATH,
+    WORKLOADS,
     check_baseline,
     collect_baseline,
     load_baseline,
@@ -24,6 +25,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # one eager + one rendezvous point: fast but covers both protocol paths
 FAST_WORKLOADS = ["osu_latency_ampi_intra_8", "osu_latency_ampi_inter_64K"]
+
+
+def _committed_entry_names():
+    path = REPO_ROOT / DEFAULT_BASELINE_PATH
+    if not path.exists():
+        return []
+    return sorted(load_baseline(path)["entries"])
 
 
 class TestGateLibrary:
@@ -73,10 +81,63 @@ class TestGateLibrary:
             apply_override(cfg, "nope.x=1")
 
 
+class TestTolerances:
+    def test_near_zero_quantities_use_explicit_atol(self):
+        """Regression (satellite of the fast-core PR): the old comparator
+        hid a ``max(tol, 1e-9)`` floor that silently absorbed order-of-
+        magnitude drift of tiny quantities.  The floor is now the explicit
+        recorded ``atol``: float noise below it passes, real drift of a
+        small quantity fails."""
+        doc = collect_baseline(workloads=FAST_WORKLOADS[:1])
+        name = FAST_WORKLOADS[0]
+        fp = doc["entries"][name]
+
+        # sub-atol perturbation of a (near-)zero quantity: a pure relative
+        # tolerance would flag it, the atol floor must absorb it
+        noisy = dict(fp)
+        noisy["posting"] = dict(
+            fp["posting"],
+            delayed_posting_us=fp["posting"]["delayed_posting_us"] + 5e-13,
+        )
+        report = check_baseline(
+            {**doc, "entries": {name: noisy}},
+            budgets={name: None},
+        )
+        assert report.ok, report.format()
+
+        # 100x drift of a near-zero quantity: under the old hidden 1e-9
+        # floor this passed; with the explicit atol it must fail
+        drifted = dict(fp)
+        drifted["posting"] = dict(fp["posting"],
+                                  delayed_posting_us=2e-10)
+        baseline_doc = {**doc, "entries": {name: drifted}}
+        fresh = check_baseline(baseline_doc, budgets={name: None})
+        assert any("delayed_posting_us" in f for f in fresh.failures), \
+            fresh.format()
+
+    def test_wallclock_budget_trips(self):
+        doc = collect_baseline(workloads=FAST_WORKLOADS[:1])
+        name = FAST_WORKLOADS[0]
+        report = check_baseline(doc, budgets={name: 0.0})
+        assert not report.ok
+        assert any("wall-clock" in f and "budget" in f
+                   for f in report.failures), report.format()
+        assert report.wallclock[name] > 0.0
+
+    def test_wallclock_budget_disabled_with_none(self):
+        doc = collect_baseline(workloads=FAST_WORKLOADS[:1])
+        name = FAST_WORKLOADS[0]
+        report = check_baseline(doc, budgets={name: None})
+        assert report.ok, report.format()
+
+
 class TestGateCli:
     def test_record_check_roundtrip_and_trip(self, tmp_path, capsys):
         out = tmp_path / "base.json"
-        assert main(["record", "--out", str(out)]) == 0
+        record = ["record", "--out", str(out)]
+        for name in FAST_WORKLOADS:
+            record += ["--workloads", name]
+        assert main(record) == 0
         assert out.exists()
         assert main(["check", "--baseline", str(out)]) == 0
         assert main([
@@ -88,14 +149,51 @@ class TestGateCli:
 
 
 class TestCommittedBaseline:
-    def test_repo_root_baseline_checks_clean(self):
+    def test_repo_root_baseline_exists(self):
         path = REPO_ROOT / DEFAULT_BASELINE_PATH
         assert path.exists(), (
             f"{DEFAULT_BASELINE_PATH} missing at the repo root — "
             "regenerate with: python -m repro.bench.baseline record"
         )
-        report = check_baseline(load_baseline(path))
+
+    def test_committed_baseline_covers_full_suite(self):
+        """Every defined workload — including the six jacobi scaling
+        sweeps — must be pinned in the committed baseline."""
+        missing = set(WORKLOADS) - set(_committed_entry_names())
+        assert not missing, (
+            f"workloads missing from the committed baseline: {sorted(missing)} "
+            "— regenerate with: python -m repro.bench.baseline record"
+        )
+
+    # one test per committed entry: jacobi ladders run a 256-node point
+    # each, so the per-test wall-clock ceiling (conftest.py) stays honest
+    @pytest.mark.parametrize("name", _committed_entry_names() or ["<absent>"])
+    def test_committed_entry_checks_clean(self, name):
+        path = REPO_ROOT / DEFAULT_BASELINE_PATH
+        assert path.exists(), f"{DEFAULT_BASELINE_PATH} missing at the repo root"
+        doc = load_baseline(path)
+        sub = dict(doc, entries={name: doc["entries"][name]})
+        report = check_baseline(sub)
         assert report.ok, report.format()
+
+    def test_jacobi_sweeps_pin_scaling_shape(self):
+        """The committed jacobi entries must hold one fingerprint per
+        ladder point with sane scaling shapes: weak scaling keeps the
+        iteration time roughly flat while strong scaling shrinks it."""
+        doc = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        for model in ("charm", "ampi", "charm4py"):
+            weak = doc["entries"][f"jacobi_{model}_weak_256"]
+            strong = doc["entries"][f"jacobi_{model}_strong_256"]
+            assert set(weak) == {"n4", "n64", "n256"}
+            assert set(strong) == {"n8", "n64", "n256"}
+            for fp in list(weak.values()) + list(strong.values()):
+                assert fp["events"] > 0
+                assert fp["iter_time_us"] > 0.0
+            # strong scaling: 32x the nodes must cut the iteration time
+            assert strong["n256"]["iter_time_us"] < strong["n8"]["iter_time_us"] / 4
+            # weak scaling: communication grows but stays within 4x of the
+            # small-node iteration time (the paper's flat-ish weak curves)
+            assert weak["n256"]["iter_time_us"] < weak["n4"]["iter_time_us"] * 4
 
     def test_lossy_workload_committed_and_faulted(self):
         """The faulty-link OSU point must be pinned in the committed

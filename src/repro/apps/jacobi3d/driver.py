@@ -98,10 +98,53 @@ def run_jacobi(
     )
 
 
+#: Node ladders used by ``--sweep`` (and mirrored by the baseline gate's
+#: jacobi workloads): weak scaling from 4 nodes, strong from 8 (the fixed
+#: 3072³ domain does not fit the GPU memory of fewer nodes).
+SWEEP_WEAK_LADDER = (4, 64, 256)
+SWEEP_STRONG_LADDER = (8, 64, 256)
+SWEEP_MODELS = ("charm", "ampi", "charm4py")
+
+
+def run_sweep(
+    max_nodes: int = 256,
+    models: Tuple[str, ...] = SWEEP_MODELS,
+    iters: int = 2,
+    warmup: int = 1,
+    gpu_aware: bool = True,
+) -> dict:
+    """The paper-scale scaling sweep (§IV-C): every model in ``models``
+    across the weak and strong node ladders up to ``max_nodes``.
+
+    Runs with virtual payloads (timing-identical, no data movement — see
+    ``MachineConfig.virtual_payload``) so the 256-node points stay cheap.
+    Returns ``{(model, scaling, nodes): JacobiResult}``.
+    """
+    results = {}
+    for model in models:
+        for scaling, ladder in (("weak", SWEEP_WEAK_LADDER),
+                                ("strong", SWEEP_STRONG_LADDER)):
+            for nodes in ladder:
+                if nodes > max_nodes:
+                    continue
+                cfg = MachineConfig.summit(nodes=nodes).with_virtual_payload()
+                results[(model, scaling, nodes)] = run_jacobi(
+                    model, nodes=nodes, scaling=scaling, gpu_aware=gpu_aware,
+                    iters=iters, warmup=warmup, config=cfg,
+                )
+    return results
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description="Jacobi3D proxy app (simulated)")
-    parser.add_argument("model", choices=sorted(_RUNNERS))
+    parser.add_argument("model", nargs="?", choices=sorted(_RUNNERS),
+                        help="model to run (omit with --sweep to run "
+                             "charm, ampi and charm4py)")
     parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the paper-scale weak+strong scaling sweep "
+                             "up to --nodes for charm/ampi/charm4py (or just "
+                             "the named model) and print a table")
     parser.add_argument("--scaling", choices=["weak", "strong"], default="weak")
     parser.add_argument("--host-staging", action="store_true")
     parser.add_argument("--iters", type=int, default=4)
@@ -119,6 +162,23 @@ def main(argv=None) -> None:
                              "with '{') or a JSON file path; see "
                              "repro.faults.FaultPlan")
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        models = (args.model,) if args.model else SWEEP_MODELS
+        print(f"# Jacobi3D scaling sweep up to {args.nodes} nodes "
+              f"(models: {', '.join(models)}; virtual payloads)")
+        print(f"{'model':9s} {'scaling':7s} {'nodes':>5s} "
+              f"{'iter_ms':>9s} {'comm_ms':>9s}")
+        for (model, scaling, nodes), r in run_sweep(
+            max_nodes=args.nodes, models=models, iters=args.iters,
+            gpu_aware=not args.host_staging,
+        ).items():
+            print(f"{model:9s} {scaling:7s} {nodes:5d} "
+                  f"{r.iter_time * 1e3:9.3f} {r.comm_time * 1e3:9.3f}")
+        return
+
+    if args.model is None:
+        parser.error("model is required unless --sweep is given")
 
     fault_plan = None
     cfg = MachineConfig.summit(nodes=args.nodes)

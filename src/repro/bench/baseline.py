@@ -3,16 +3,20 @@
 Usage::
 
     python -m repro.bench.baseline record [--out BENCH_baseline.json]
+                                          [--workloads NAME ...]
     python -m repro.bench.baseline check  [--baseline BENCH_baseline.json]
-                                          [--rtol 0.01]
+                                          [--rtol 0.01] [--atol 1e-12]
+                                          [--no-budget]
                                           [--override runtime.ampi_send_overhead=6e-6]
 
 ``record`` runs the workload suite of :mod:`repro.obs.baseline` and writes
 the fingerprints; ``check`` re-runs the suite and exits nonzero when any
-fingerprint drifts outside tolerance.  ``--override section.key=value``
-perturbs the config before running (sections: ``topology``, ``cuda``,
-``ucx``, ``tags``, ``runtime``, or a bare top-level field) — handy both
-for what-if runs and for demonstrating that the gate trips.
+fingerprint drifts outside tolerance **or** any workload overruns its
+wall-clock budget (``--no-budget`` skips the latter).  ``--override
+section.key=value`` perturbs the config before running (sections:
+``topology``, ``cuda``, ``ucx``, ``tags``, ``runtime``, or a bare
+top-level field) — handy both for what-if runs and for demonstrating that
+the gate trips.
 """
 
 from __future__ import annotations
@@ -91,6 +95,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     rec.add_argument("--override", action="append", default=[],
                      metavar="SECTION.KEY=VALUE",
                      help="config perturbation (repeatable)")
+    rec.add_argument("--workloads", action="append", default=None,
+                     metavar="NAME",
+                     help="record only the named workload(s) (repeatable; "
+                          "default: the full suite)")
 
     chk = sub.add_parser("check", help="re-run the suite and compare")
     chk.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
@@ -98,6 +106,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     chk.add_argument("--rtol", type=float, default=None,
                      help="relative tolerance for modeled times "
                           "(default: the baseline's recorded rtol)")
+    chk.add_argument("--atol", type=float, default=None,
+                     help="absolute tolerance floor for modeled times "
+                          "(default: the baseline's recorded atol)")
+    chk.add_argument("--no-budget", action="store_true",
+                     help="skip the per-workload wall-clock budget assertion")
     chk.add_argument("--override", action="append", default=[],
                      metavar="SECTION.KEY=VALUE",
                      help="config perturbation (repeatable)")
@@ -106,12 +119,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     cfg = _build_config(args.override)
 
     if args.command == "record":
-        doc = collect_baseline(cfg)
+        doc = collect_baseline(cfg, workloads=args.workloads)
         path = save_baseline(doc, args.out)
         print(f"baseline with {len(doc['entries'])} workload(s) written to {path}")
         return 0
 
-    report = check_baseline(load_baseline(args.baseline), cfg, rtol=args.rtol)
+    doc = load_baseline(args.baseline)
+    # --no-budget: an explicit None budget per entry disables the assertion
+    budgets = dict.fromkeys(doc.get("entries", {}), None) if args.no_budget else None
+    report = check_baseline(doc, cfg, rtol=args.rtol, atol=args.atol,
+                            budgets=budgets)
     print(report.format())
     return 0 if report.ok else 1
 

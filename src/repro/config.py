@@ -257,6 +257,12 @@ class MachineConfig:
     # Carry real numpy payloads in buffers at/below this size; larger buffers
     # are virtual (size-only).  Keeps paper-scale Jacobi domains cheap.
     payload_materialize_limit: int = 4 * MB
+    # Virtual-payload mode: never materialize numpy payloads (regardless of
+    # size) unless a caller explicitly asks.  Buffer copies become size-only
+    # no-ops while every modeled delay is computed identically, so timing
+    # fingerprints match materialized runs bit for bit.  Used by the
+    # paper-scale scaling sweeps, where data movement is all dead weight.
+    virtual_payload: bool = False
     trace: bool = False
     # Message-lifecycle flight recording (repro.obs.flight); like `trace`,
     # observation-only — simulated results are identical on or off.
@@ -294,6 +300,11 @@ class MachineConfig:
 
     def with_flight(self, enabled: bool = True) -> "MachineConfig":
         return replace(self, flight=bool(enabled))
+
+    def with_virtual_payload(self, enabled: bool = True) -> "MachineConfig":
+        """Copy with virtual-payload mode toggled (see the field docs:
+        timing-identical, data movement skipped)."""
+        return replace(self, virtual_payload=bool(enabled))
 
     def with_faults(self, plan: Optional[FaultPlan]) -> "MachineConfig":
         """Copy with a :class:`repro.faults.FaultPlan` attached (``None``

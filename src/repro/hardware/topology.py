@@ -1,10 +1,11 @@
 """Node and machine topology: the simulated Summit.
 
 Builds the link graph of an AC922 cluster and resolves routes between
-buffer locations.  Routes are lists of :class:`~repro.hardware.links.Link`
-objects; protocol code composes them (e.g. the pipelined inter-node device
-rendezvous stages through host memory and therefore uses the NVLink route
-and the NIC route separately rather than one end-to-end route).
+buffer locations.  Routes are memoized :class:`~repro.hardware.links.Route`
+sequences of :class:`~repro.hardware.links.Link` objects; protocol code
+composes them (e.g. the pipelined inter-node device rendezvous stages
+through host memory and therefore uses the NVLink route and the NIC route
+separately rather than one end-to-end route).
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
-from repro.hardware.links import Link
+from repro.hardware.links import Link, Route
 from repro.hardware.memory import Buffer, DeviceAllocator, MemoryKind, host_buffer
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
@@ -102,6 +103,7 @@ class Machine:
             for g in range(topo.total_gpus)
         }
         self._host_free_hooks: List = []
+        self._route_cache: Dict[tuple, Route] = {}
         # Fault injection: built only for non-empty plans, so empty-plan
         # runs take the exact code paths (and event schedule) of plain runs.
         self.fault_injector = None
@@ -131,7 +133,12 @@ class Machine:
     # -- allocation -------------------------------------------------------------
     def _maybe_payload(self, size: int, materialize: Optional[bool]) -> Optional[np.ndarray]:
         if materialize is None:
-            materialize = size <= self.cfg.payload_materialize_limit
+            # virtual_payload skips NumPy data movement entirely (explicit
+            # materialize=True still wins: functional tests need real bytes)
+            materialize = (
+                not self.cfg.virtual_payload
+                and size <= self.cfg.payload_materialize_limit
+            )
         return np.zeros(size, dtype=np.uint8) if materialize else None
 
     def alloc_device(
@@ -174,13 +181,25 @@ class Machine:
         self._host_free_hooks.append(hook)
 
     # -- routing --------------------------------------------------------------
-    def route(self, src: Location, dst: Location) -> List[Link]:
+    def route(self, src: Location, dst: Location) -> Route:
         """Links traversed by a direct transfer from ``src`` to ``dst``.
 
         The route is symmetric; protocol layers decide *whether* a direct
         route is usable (e.g. inter-node device transfers normally stage
         through host memory instead of taking the GPUDirect route below).
+
+        Routes are memoized per ``(src, dst)`` pair: the link graph is
+        static after construction, so the per-message path is a dict lookup
+        returning a :class:`Route` whose acquisition order and cost terms
+        were computed once (``path_transfer`` consumes them directly).
         """
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            cached = Route(self._build_route(src, dst))
+            self._route_cache[(src, dst)] = cached
+        return cached
+
+    def _build_route(self, src: Location, dst: Location) -> List[Link]:
         same_loc = (src.node == dst.node and src.kind is dst.kind
                     and src.device == dst.device)
         if same_loc:

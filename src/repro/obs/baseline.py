@@ -24,6 +24,7 @@ CLI: ``python -m repro.bench.baseline record|check`` (see
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -33,6 +34,8 @@ from repro.config import KB, MachineConfig
 __all__ = [
     "BASELINE_SCHEMA",
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_ATOL",
+    "WALLCLOCK_BUDGETS",
     "WORKLOADS",
     "BaselineReport",
     "collect_baseline",
@@ -49,6 +52,13 @@ DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
 
 #: Default relative tolerance for modeled times (floats); integers exact.
 DEFAULT_RTOL = 0.01
+
+#: Absolute floor for float comparisons.  A pure relative tolerance makes
+#: every near-zero quantity (e.g. a delayed-posting cost that should be
+#: exactly 0 µs) an automatic mismatch on any sub-rounding jitter, while a
+#: large hidden floor would mask real regressions of small quantities —
+#: this explicit value only absorbs float noise far below any modeled cost.
+DEFAULT_ATOL = 1e-12
 
 #: Named fault plans referenced by 4-tuple workload specs.  Deterministic
 #: by construction (seeded), so faulty runs fingerprint just as stably as
@@ -83,14 +93,65 @@ WORKLOADS: Dict[str, Tuple] = {
     "osu_latency_charm_inter_64K": ("charm", 64 * KB, "inter"),
     "osu_latency_ampi_inter_64K": ("ampi", 64 * KB, "inter"),
     "osu_latency_ampi_inter_64K_lossy": ("ampi", 64 * KB, "inter", "lossy"),
+    # Paper-scale Jacobi3D scaling sweeps (§IV-C at 256 nodes): each entry
+    # runs a node ladder and pins the *scaling shape* — one fingerprint per
+    # ladder point, compared recursively.  Weak ladders start at 4 nodes;
+    # strong ladders at 8 (the fixed 3072³ domain does not fit fewer GPUs).
+    "jacobi_charm_weak_256": ("jacobi", "charm", "weak", (4, 64, 256)),
+    "jacobi_charm_strong_256": ("jacobi", "charm", "strong", (8, 64, 256)),
+    "jacobi_ampi_weak_256": ("jacobi", "ampi", "weak", (4, 64, 256)),
+    "jacobi_ampi_strong_256": ("jacobi", "ampi", "strong", (8, 64, 256)),
+    "jacobi_charm4py_weak_256": ("jacobi", "charm4py", "weak", (4, 64, 256)),
+    "jacobi_charm4py_strong_256": ("jacobi", "charm4py", "strong", (8, 64, 256)),
 }
 
 _ITERS = 6
 _SKIP = 2
 
+#: Jacobi ladder points run the minimum that still exercises the steady
+#: state (warmup iteration excluded from the averages).
+_JACOBI_ITERS = 2
+_JACOBI_WARMUP = 1
+
+#: Per-workload wall-clock budgets (seconds), asserted by ``check``: a
+#: paper-scale workload that silently regresses into a minutes-long run
+#: fails the gate even if its modeled fingerprint is intact.  Budgets are
+#: ~3x the observed wall-clock so only real regressions trip them.
+DEFAULT_WALLCLOCK_BUDGET = 30.0
+WALLCLOCK_BUDGETS: Dict[str, float] = {
+    name: 90.0 for name in WORKLOADS if name.startswith("jacobi_")
+}
+
+
+def _run_jacobi_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
+    import repro.api as api
+    from repro.apps.jacobi3d.driver import run_jacobi
+
+    _, model, scaling, ladder = spec
+    base_cfg = config if config is not None else MachineConfig.summit(nodes=2)
+    points: Dict[str, Dict] = {}
+    for nodes in ladder:
+        # virtual payloads: timing-identical (tests/test_virtual_payload.py)
+        # but skips every dead-weight memcpy of the paper-scale domains
+        cfg = base_cfg.with_nodes(nodes).with_virtual_payload().with_flight(True)
+        sess = api.session(cfg).model(model).build()
+        result = run_jacobi(model, nodes=nodes, scaling=scaling,
+                            iters=_JACOBI_ITERS, warmup=_JACOBI_WARMUP,
+                            session=sess)
+        fp = sess.baseline_fingerprint()
+        fp["iter_time_us"] = result.iter_time * 1e6
+        fp["comm_time_us"] = result.comm_time * 1e6
+        points[f"n{nodes}"] = fp
+    return points
+
 
 def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
-    """Run one named workload and return its fingerprint dict."""
+    """Run one named workload and return its fingerprint dict.
+
+    OSU workloads return one flat fingerprint; jacobi sweep workloads
+    return one fingerprint per ladder point (``{"n4": {...}, ...}``),
+    which ``check`` compares recursively.
+    """
     import repro.api as api
     from repro.apps.osu.runner import run_latency
 
@@ -99,6 +160,8 @@ def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
         raise KeyError(
             f"unknown baseline workload {name!r}; known: {sorted(WORKLOADS)}"
         )
+    if spec[0] == "jacobi":
+        return _run_jacobi_workload(spec, config)
     model, size, placement = spec[:3]
     cfg = (config if config is not None else MachineConfig.summit(nodes=2))
     if len(spec) == 4:
@@ -122,6 +185,7 @@ def collect_baseline(
     return {
         "schema": BASELINE_SCHEMA,
         "rtol": DEFAULT_RTOL,
+        "atol": DEFAULT_ATOL,
         "entries": {name: run_workload(name, config) for name in names},
     }
 
@@ -147,6 +211,8 @@ class BaselineReport:
 
     compared: int = 0
     failures: List[str] = field(default_factory=list)
+    #: wall-clock seconds spent per checked workload
+    wallclock: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -154,11 +220,12 @@ class BaselineReport:
 
     def format(self) -> str:
         head = (f"baseline check: {self.compared} workload(s), "
-                f"{len(self.failures)} failure(s)")
+                f"{len(self.failures)} failure(s), "
+                f"{sum(self.wallclock.values()):.1f}s wall-clock")
         return "\n".join([head] + [f"  FAIL {f}" for f in self.failures])
 
 
-def _compare_value(where: str, base, cur, rtol: float,
+def _compare_value(where: str, base, cur, rtol: float, atol: float,
                    failures: List[str]) -> None:
     if isinstance(base, dict) and isinstance(cur, dict):
         for key in sorted(set(base) | set(cur)):
@@ -168,7 +235,7 @@ def _compare_value(where: str, base, cur, rtol: float,
                 failures.append(f"{where}.{key}: missing from current run")
             else:
                 _compare_value(f"{where}.{key}", base[key], cur[key],
-                               rtol, failures)
+                               rtol, atol, failures)
         return
     if isinstance(base, bool) or isinstance(cur, bool):
         if base != cur:
@@ -179,13 +246,15 @@ def _compare_value(where: str, base, cur, rtol: float,
             failures.append(f"{where}: {base} -> {cur} (exact match required)")
         return
     if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
-        # modeled times: relative tolerance with a small absolute floor so
-        # exact zeros compare clean
-        tol = rtol * max(abs(base), abs(cur))
-        if abs(cur - base) > max(tol, 1e-9):
+        # modeled times: relative tolerance plus the explicit absolute
+        # floor (see DEFAULT_ATOL) so exact zeros compare clean without
+        # masking regressions of small-but-real quantities
+        tol = rtol * max(abs(base), abs(cur)) + atol
+        if abs(cur - base) > tol:
             drift = (cur - base) / base * 100.0 if base else float("inf")
             failures.append(
-                f"{where}: {base:.6g} -> {cur:.6g} ({drift:+.2f}%, rtol={rtol})"
+                f"{where}: {base:.6g} -> {cur:.6g} "
+                f"({drift:+.2f}%, rtol={rtol}, atol={atol:g})"
             )
         return
     if base != cur:
@@ -196,18 +265,38 @@ def check_baseline(
     doc: Dict,
     config: Optional[MachineConfig] = None,
     rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+    budgets: Optional[Dict[str, float]] = None,
 ) -> BaselineReport:
-    """Re-run every workload named in ``doc`` and compare fingerprints."""
+    """Re-run every workload named in ``doc`` and compare fingerprints.
+
+    Besides fingerprint drift, each workload's wall-clock is asserted
+    against its budget (``budgets`` overrides :data:`WALLCLOCK_BUDGETS`;
+    a budget of ``None`` disables the assertion for that workload).
+    """
     if rtol is None:
         rtol = float(doc.get("rtol", DEFAULT_RTOL))
+    if atol is None:
+        atol = float(doc.get("atol", DEFAULT_ATOL))
+    if budgets is None:
+        budgets = WALLCLOCK_BUDGETS
     report = BaselineReport()
     for name, base_fp in sorted(doc.get("entries", {}).items()):
         if name not in WORKLOADS:
             report.failures.append(f"{name}: workload no longer defined")
             continue
+        start = time.perf_counter()
         cur_fp = run_workload(name, config)
+        elapsed = time.perf_counter() - start
+        report.wallclock[name] = elapsed
         report.compared += 1
-        _compare_value(name, base_fp, cur_fp, rtol, report.failures)
+        budget = budgets.get(name, DEFAULT_WALLCLOCK_BUDGET)
+        if budget is not None and elapsed > budget:
+            report.failures.append(
+                f"{name}: wall-clock {elapsed:.1f}s exceeded the "
+                f"{budget:.1f}s budget"
+            )
+        _compare_value(name, base_fp, cur_fp, rtol, atol, report.failures)
     if not doc.get("entries"):
         report.failures.append("baseline has no entries")
     return report

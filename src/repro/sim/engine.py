@@ -1,4 +1,4 @@
-"""Core event loop: a monotonic simulated clock over a binary-heap agenda.
+"""Core event loop: a monotonic simulated clock over a slot-based agenda.
 
 Determinism contract
 --------------------
@@ -7,53 +7,110 @@ scheduled (FIFO tie-break via a monotonically increasing sequence number).
 Nothing in the engine consults wall-clock time or unseeded randomness, so a
 simulation run is a pure function of its inputs.  Every figure in the paper
 reproduction is therefore exactly repeatable.
+
+Tie-break rule for schedule sites
+---------------------------------
+The FIFO tie-break applies only to events whose float times are *bit-equal*.
+Float addition is not associative — ``now + a + b`` and ``now + (a + b)``
+can differ in the last ulp — so two call sites that re-derive the "same"
+composite delay with different grouping turn semantically-simultaneous
+events into (arbitrarily) ordered ones.  The rule for layers above the
+engine: a composite per-operation cost must be summed **once** (e.g. the
+precomputed ``_send_post_cost``/``_rts_post_cost`` constants on
+:class:`repro.ucx.worker.UcpWorker`) and every site that schedules with it
+must reuse that shared sum, never re-add the parts.
+
+Event core layout
+-----------------
+The agenda is a slot store plus packed integer keys:
+
+* Each scheduled event occupies a *slot* in parallel arrays (``_fn``,
+  ``_args``, ``_time``, ``_gen``) recycled through a freelist — no
+  per-event entry objects on the hot path.
+* The ordering key is one Python int, ``(time_bits << 96) | (seq << 32) |
+  slot``, where ``time_bits`` is the big-endian IEEE-754 bit pattern of the
+  event time.  For the non-negative times the engine produces, that bit
+  pattern is order-isomorphic to numeric order, so a single integer
+  comparison replaces a ``(time, seq)`` tuple comparison.  (``seq`` is
+  assumed to stay below 2**64 — about six centuries of nanosecond-spaced
+  events.)
+* ``Handle.cancel`` tombstones the slot in O(1) (``_fn[slot] = None``);
+  the dead key is discarded lazily when it surfaces.  Handles carry a
+  generation counter so slot reuse can never rebind them: ``Handle.time``
+  and ``Handle.cancelled`` stay truthful after the event fired, after the
+  slot was recycled, and across double cancels.
+* Large agendas engage a calendar-queue lane: keys beyond the serving
+  bucket are parked in coarse time buckets and only heapified when their
+  bucket comes up.  Bucket routing uses one monotone function of the event
+  time, so the serve order is provably the global key order — results are
+  bit-identical whether or not the lane is engaged (the engage threshold is
+  a pure function of agenda size, keeping runs deterministic).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from struct import Struct
+from typing import Any, Callable, Dict, List, Optional
+
+_TIME_BITS = Struct(">d").pack
+_FROM_BYTES = int.from_bytes
+_SLOT_MASK = 0xFFFFFFFF
+#: bucket indices are capped here so ``inf`` event times route finitely
+_BUCKET_CAP = 1 << 62
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling into the past)."""
 
 
-@dataclass(order=True)
-class _Entry:
-    """Heap entry; ordering is (time, seq) so ties fire FIFO."""
-
-    time: float
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
-
-
 class Handle:
-    """Cancellation handle returned by :meth:`Simulator.schedule`."""
+    """Cancellation handle returned by :meth:`Simulator.schedule`.
 
-    __slots__ = ("_entry", "_sim")
+    Identity-stable: the handle snapshots its event's time and tracks its
+    slot *generation*, so it keeps reporting correctly after the engine
+    recycles the slot (post-fire or post-cancel).  ``cancel`` after the
+    event has fired is a no-op — the event ran, and ``cancelled`` stays
+    ``False`` rather than misreporting it as suppressed.
+    """
 
-    def __init__(self, entry: _Entry, sim: "Simulator") -> None:
-        self._entry = entry
+    __slots__ = ("_sim", "_slot", "_gen", "_time", "_cancelled")
+
+    def __init__(self, sim: "Simulator", slot: int, gen: int, time: float) -> None:
         self._sim = sim
+        self._slot = slot
+        self._gen = gen
+        self._time = time
+        self._cancelled = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing; safe to call multiple times."""
-        if not self._entry.cancelled:
-            self._entry.cancelled = True
-            self._sim._note_cancelled()
+        """Prevent the callback from firing; safe to call multiple times,
+        and a no-op once the event has already fired."""
+        if self._cancelled:
+            return
+        sim = self._sim
+        slot = self._slot
+        if sim._gen[slot] != self._gen:
+            return  # the event already fired; nothing to suppress
+        self._cancelled = True
+        sim._fn[slot] = None
+        sim._args[slot] = None
+        sim._tombstones += 1
 
     @property
     def cancelled(self) -> bool:
-        return self._entry.cancelled
+        """True iff :meth:`cancel` suppressed the event before it fired."""
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still scheduled (not fired, not cancelled)."""
+        return not self._cancelled and self._sim._gen[self._slot] == self._gen
 
     @property
     def time(self) -> float:
-        """Simulated time at which the callback is due."""
-        return self._entry.time
+        """Simulated time at which the callback is (or was) due."""
+        return self._time
 
 
 class Simulator:
@@ -75,16 +132,35 @@ class Simulator:
     1.5
     """
 
-    #: cancelled entries tolerated in the heap before a compaction pass
-    _COMPACT_MIN = 64
+    #: agenda size at which the calendar lane engages / folds back
+    _CALENDAR_ENGAGE = 8192
+    _CALENDAR_DISENGAGE = 2048
+    #: target live keys per calendar bucket when choosing the bucket width
+    _CALENDAR_PER_BUCKET = 8.0
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: list[_Entry] = []
-        self._running = False
         self._event_count = 0
-        self._cancelled_count = 0
+        self._running = False
+        # slot store (parallel arrays + freelist)
+        self._fn: List[Optional[Callable[..., Any]]] = []
+        self._args: List[Any] = []
+        self._time: List[float] = []
+        self._gen: List[int] = []
+        self._free: List[int] = []
+        self._tombstones = 0  # cancelled keys not yet reaped
+        # serving heap of packed keys + total keys across all structures
+        self._cur: List[int] = []
+        self._agenda = 0
+        # calendar lane state (engaged only for large agendas)
+        self._engaged = False
+        self._engage_at = self._CALENDAR_ENGAGE
+        self._base = 0.0
+        self._width = 0.0
+        self._bidx = 0
+        self._buckets: Dict[int, List[int]] = {}
+        self._bucket_order: List[int] = []  # heap of pending bucket indices
 
     @property
     def now(self) -> float:
@@ -96,61 +172,199 @@ class Simulator:
         """Number of events executed so far (cancelled events excluded)."""
         return self._event_count
 
+    @property
+    def pending_events(self) -> int:
+        """Live (non-cancelled) events currently scheduled."""
+        return self._agenda - self._tombstones
+
+    # -- scheduling ----------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
 
-        ``delay`` must be non-negative; a zero delay fires after all events
-        already scheduled for the current instant (FIFO order).
+        ``delay`` must be non-negative (NaN rejected); a zero delay fires
+        after all events already scheduled for the current instant (FIFO).
         """
-        if delay < 0:
+        if not (delay >= 0.0):
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        entry = _Entry(self._now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
-        return Handle(entry, self)
+        t = self._now + delay
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._fn[slot] = fn
+            self._args[slot] = args
+            self._time[slot] = t
+            gen = self._gen[slot]
+        else:
+            slot = len(self._fn)
+            if slot > _SLOT_MASK:  # pragma: no cover - 2**32 concurrent events
+                raise SimulationError("agenda exceeded 2**32 concurrent events")
+            self._fn.append(fn)
+            self._args.append(args)
+            self._time.append(t)
+            self._gen.append(0)
+            gen = 0
+        seq = self._seq
+        self._seq = seq + 1
+        key = (_FROM_BYTES(_TIME_BITS(t), "big") << 96) | (seq << 32) | slot
+        self._agenda += 1
+        if self._engaged:
+            self._route_key(key, t)
+        else:
+            cur = self._cur
+            heapq.heappush(cur, key)
+            if len(cur) >= self._engage_at:
+                self._engage()
+        return Handle(self, slot, gen, t)
 
     def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
         return self.schedule(when - self._now, fn, *args)
 
-    def _note_cancelled(self) -> None:
-        """Lazy-deletion bookkeeping: when tombstoned entries dominate the
-        agenda, rebuild the heap without them.  Ordering is untouched —
-        entries keep their ``(time, seq)`` keys, so ``heapify`` restores the
-        exact same execution order and determinism is preserved."""
-        self._cancelled_count += 1
-        heap = self._heap
-        if (
-            self._cancelled_count >= self._COMPACT_MIN
-            and self._cancelled_count * 2 > len(heap)
-        ):
-            self._heap = [e for e in heap if not e.cancelled]
-            heapq.heapify(self._heap)
-            self._cancelled_count = 0
+    # -- calendar lane -------------------------------------------------------
+    def _route_key(self, key: int, t: float) -> None:
+        """File ``key`` by its time bucket.  The routing function is a single
+        monotone map of ``t`` shared by every push, so all keys at or below
+        the serving bucket are in the serving heap and every bucket's keys
+        strictly follow the heap's — serve order equals global key order."""
+        q = (t - self._base) / self._width
+        i = int(q) if q < _BUCKET_CAP else _BUCKET_CAP
+        if i <= self._bidx:
+            heapq.heappush(self._cur, key)
+        else:
+            bucket = self._buckets.get(i)
+            if bucket is None:
+                self._buckets[i] = [key]
+                heapq.heappush(self._bucket_order, i)
+            else:
+                bucket.append(key)
 
+    def _engage(self) -> None:
+        """Switch the agenda to calendar mode, sizing buckets from the live
+        time spread.  Deterministic: depends only on agenda contents."""
+        fns = self._fn
+        times = self._time
+        inf = float("inf")
+        lo = hi = None
+        live = 0
+        for key in self._cur:
+            slot = key & _SLOT_MASK
+            if fns[slot] is None:
+                continue
+            t = times[slot]
+            if t == inf:
+                continue
+            live += 1
+            if lo is None or t < lo:
+                lo = t
+            if hi is None or t > hi:
+                hi = t
+        if live < 2 or not (hi - lo) > 0.0:
+            # degenerate spread: stay on the plain heap, back off the trigger
+            self._engage_at *= 2
+            return
+        self._engaged = True
+        self._base = self._now
+        self._width = (hi - lo) / max(live / self._CALENDAR_PER_BUCKET, 1.0)
+        self._bidx = 0
+        self._buckets = {}
+        self._bucket_order = []
+        old = self._cur
+        self._cur = []
+        for key in old:
+            slot = key & _SLOT_MASK
+            if fns[slot] is None:
+                # reap tombstones while redistributing
+                self._free_slot(slot)
+                self._tombstones -= 1
+                self._agenda -= 1
+                continue
+            self._route_key(key, times[slot])
+
+    def _advance_bucket(self) -> bool:
+        """Serving heap drained: promote the next non-empty bucket (or fold
+        a small remainder back into plain-heap mode).  Returns False when
+        the whole agenda is empty."""
+        order = self._bucket_order
+        buckets = self._buckets
+        while order:
+            i = heapq.heappop(order)
+            keys = buckets.pop(i, None)
+            if not keys:
+                continue
+            self._bidx = i
+            if self._agenda <= self._CALENDAR_DISENGAGE:
+                for rest in buckets.values():
+                    keys.extend(rest)
+                self._disengage(keys)
+                return True
+            cur = self._cur  # empty here; refill in place
+            cur.extend(keys)
+            heapq.heapify(cur)
+            return True
+        self._disengage([])
+        return False
+
+    def _disengage(self, keys: List[int]) -> None:
+        self._engaged = False
+        self._buckets = {}
+        self._bucket_order = []
+        self._bidx = 0
+        self._width = 0.0
+        self._engage_at = self._CALENDAR_ENGAGE
+        cur = self._cur
+        cur.extend(keys)
+        heapq.heapify(cur)
+
+    # -- slot bookkeeping ----------------------------------------------------
+    def _free_slot(self, slot: int) -> None:
+        self._gen[slot] += 1
+        self._fn[slot] = None
+        self._args[slot] = None
+        self._free.append(slot)
+
+    def _next_live(self) -> Optional[int]:
+        """Bring a live key to the head of the serving heap; reaps tombstoned
+        keys (reclaiming their slots) and advances calendar buckets."""
+        cur = self._cur
+        fns = self._fn
+        pop = heapq.heappop
+        while True:
+            while cur:
+                key = cur[0]
+                slot = key & _SLOT_MASK
+                if fns[slot] is not None:
+                    return key
+                pop(cur)
+                self._free_slot(slot)
+                self._tombstones -= 1
+                self._agenda -= 1
+            if not self._engaged or not self._advance_bucket():
+                return None
+
+    # -- execution -----------------------------------------------------------
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the agenda is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            if self._cancelled_count > 0:
-                self._cancelled_count -= 1
-        return self._heap[0].time if self._heap else None
+        key = self._next_live()
+        return None if key is None else self._time[key & _SLOT_MASK]
 
     def step(self) -> bool:
         """Execute the next event. Returns ``False`` if the agenda was empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
-                if self._cancelled_count > 0:
-                    self._cancelled_count -= 1
-                continue
-            if entry.time < self._now:  # pragma: no cover - defensive
-                raise SimulationError("event heap corrupted: time went backwards")
-            self._now = entry.time
-            self._event_count += 1
-            entry.fn(*entry.args)
-            return True
-        return False
+        key = self._next_live()
+        if key is None:
+            return False
+        heapq.heappop(self._cur)
+        slot = key & _SLOT_MASK
+        fn = self._fn[slot]
+        args = self._args[slot]
+        t = self._time[slot]
+        self._agenda -= 1
+        self._free_slot(slot)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event agenda corrupted: time went backwards")
+        self._now = t
+        self._event_count += 1
+        fn(*args)
+        return True
 
     def run(
         self,
@@ -169,15 +383,32 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         executed = 0
+        pop = heapq.heappop
+        times = self._time
+        fns = self._fn
+        argl = self._args
         try:
             while True:
-                nxt = self.peek()
-                if nxt is None:
+                key = self._next_live()
+                if key is None:
                     return
-                if until is not None and nxt > until:
+                slot = key & _SLOT_MASK
+                t = times[slot]
+                if until is not None and t > until:
                     self._now = until
                     return
-                self.step()
+                pop(self._cur)
+                fn = fns[slot]
+                args = argl[slot]
+                self._agenda -= 1
+                self._free_slot(slot)
+                if t < self._now:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        "event agenda corrupted: time went backwards"
+                    )
+                self._now = t
+                self._event_count += 1
+                fn(*args)
                 executed += 1
                 if max_events is not None and executed > max_events:
                     raise SimulationError(

@@ -34,9 +34,8 @@ def start_send(
 ) -> None:
     """Begin an eager send from ``worker`` to ``remote``."""
     ctx = worker.ctx
-    cfg = ctx.cfg
     copy_in = staging_copy_time(ctx, buf, size)
-    delay = cfg.send_overhead + cfg.request_alloc_cost + copy_in
+    delay = worker._send_post_cost + copy_in
     tracer = ctx.machine.tracer
     sp = tracer.span(
         "ucx.eager", "eager_send", size=size, tag=tag, device=buf.on_device

@@ -47,7 +47,6 @@ def start_send(
     wire_seq=None,
 ) -> None:
     """Send the RTS; the request completes when the FIN returns."""
-    cfg = worker.ctx.cfg
     rndv_id = next_rndv_id()
     worker.pending_rndv_sends[rndv_id] = req
     worker._rndv_remote[rndv_id] = remote.worker_id
@@ -62,7 +61,7 @@ def start_send(
         src_was_device=buf.on_device,
         wire_seq=wire_seq,
     )
-    delay = cfg.send_overhead + cfg.request_alloc_cost + cfg.rndv_rts_cost
+    delay = worker._rts_post_cost
     tracer = worker.ctx.machine.tracer
     if tracer.enabled:
         sp = tracer.span("ucx.rndv", "rndv_rts", size=size, tag=tag,

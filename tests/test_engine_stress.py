@@ -1,0 +1,162 @@
+"""Property-style stress tests for the slot-based event core.
+
+Randomized (seeded) schedule/cancel workloads are replayed on both the new
+slot core (:class:`repro.sim.engine.Simulator`) and the retained old heap
+core (:class:`repro.sim.reference.ReferenceSimulator`); the firing order,
+firing times, clock and event counts must match exactly.  The reference
+core is the golden oracle until the slot core has soaked, after which both
+it and these comparisons can be deleted.
+
+The calendar-lane tests force engagement with tiny thresholds so the
+bucket fast lane — normally reserved for paper-scale agendas — is exercised
+end to end (engage, bucket advance, disengage) and shown to be bit-exact
+against plain-heap order.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.reference import ReferenceSimulator
+
+
+class _Workload:
+    """One deterministic schedule/cancel workload driven by a seeded RNG.
+
+    Both engines replay the same seed; every RNG draw happens inside event
+    callbacks, so the draw sequence (and thus the whole workload) is
+    identical iff the engines fire events in the same order — any
+    divergence shows up as a differing log.
+    """
+
+    #: quantized delays: heavy tie traffic plus zero-delay chains
+    DELAYS = (0.0, 0.0, 1e-9, 2.5e-7, 2.5e-7, 1e-6, 3e-6, 1e-4, 0.5)
+
+    def __init__(self, sim, seed: int) -> None:
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.log = []
+        self.handles = []
+        self.next_id = 0
+        self.budget = 3000  # total events allowed to spawn children
+
+    def seed_events(self, n: int) -> None:
+        for _ in range(n):
+            self._spawn(self.rng.choice(self.DELAYS))
+
+    def _spawn(self, delay: float) -> None:
+        eid = self.next_id
+        self.next_id += 1
+        self.handles.append(self.sim.schedule(delay, self._fire, eid))
+
+    def _fire(self, eid: int) -> None:
+        self.log.append((eid, self.sim.now))
+        self.budget -= 1
+        if self.budget <= 0:
+            return
+        r = self.rng.random()
+        if r < 0.45:
+            self._spawn(self.rng.choice(self.DELAYS))
+            if r < 0.15:  # occasional burst: more same-instant ties
+                self._spawn(0.0)
+        elif r < 0.65 and self.handles:
+            # cancel a random handle: may be pending, fired, or already
+            # cancelled (double-cancel and cancel-after-fire paths)
+            self.rng.choice(self.handles).cancel()
+        elif r < 0.75:
+            self.sim.schedule_at(self.sim.now + self.rng.choice(self.DELAYS),
+                                 self._fire, self._alloc_id())
+
+    def _alloc_id(self) -> int:
+        eid = self.next_id
+        self.next_id += 1
+        return eid
+
+
+def _run_workload(sim, seed: int, roots: int = 200):
+    w = _Workload(sim, seed)
+    w.seed_events(roots)
+    sim.run(max_events=50_000)
+    return w.log, sim.now, sim.event_count
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234, 99991])
+def test_firing_order_matches_reference(seed):
+    new_log, new_now, new_count = _run_workload(Simulator(), seed)
+    ref_log, ref_now, ref_count = _run_workload(ReferenceSimulator(), seed)
+    assert new_log == ref_log
+    assert new_now == ref_now  # bit-equal, not approx
+    assert new_count == ref_count
+
+
+@pytest.mark.parametrize("seed", [3, 17, 2024])
+def test_firing_order_matches_reference_with_calendar_forced(seed):
+    sim = Simulator()
+    # force the calendar lane to engage (and fold back) inside a workload
+    # the plain heap would otherwise serve alone
+    sim._CALENDAR_ENGAGE = 64
+    sim._CALENDAR_DISENGAGE = 16
+    sim._engage_at = 64
+    new_log, new_now, new_count = _run_workload(sim, seed, roots=500)
+    ref_log, ref_now, ref_count = _run_workload(ReferenceSimulator(), seed,
+                                                roots=500)
+    assert new_log == ref_log
+    assert new_now == ref_now
+    assert new_count == ref_count
+
+
+def test_calendar_lane_engages_and_disengages():
+    sim = Simulator()
+    sim._CALENDAR_ENGAGE = 64
+    sim._CALENDAR_DISENGAGE = 16
+    sim._engage_at = 64
+    fired = []
+    rng = random.Random(5)
+    expect = []
+    for i in range(1000):
+        d = rng.random() * 1e-3
+        expect.append((d, i))
+        sim.schedule(d, fired.append, i)
+    assert sim._engaged  # the push volume crossed the engage threshold
+    sim.run()
+    assert fired == [i for _, i in sorted(expect)]
+    assert not sim._engaged  # drained agendas fold back to the plain heap
+    assert sim.pending_events == 0
+    assert len(sim._free) == len(sim._fn)  # every slot reclaimed
+
+
+def test_calendar_lane_handles_ties_and_infinite_times():
+    sim = Simulator()
+    sim._CALENDAR_ENGAGE = 32
+    sim._CALENDAR_DISENGAGE = 8
+    sim._engage_at = 32
+    fired = []
+    for i in range(50):
+        sim.schedule(1.0, fired.append, i)  # all-tied: engagement refused
+    for i in range(50, 100):
+        sim.schedule(float(i), fired.append, i)
+    h = sim.schedule(float("inf"), fired.append, "never")
+    sim.run(until=99.0)
+    assert fired == list(range(100))
+    h.cancel()
+    sim.run()
+    assert fired == list(range(100))
+
+
+def test_degenerate_spread_backs_off_then_engages():
+    sim = Simulator()
+    sim._CALENDAR_ENGAGE = 32
+    sim._CALENDAR_DISENGAGE = 8
+    sim._engage_at = 32
+    # first wave is all-tied: _engage must refuse and double the trigger
+    for i in range(40):
+        sim.schedule(1.0, lambda: None)
+    assert not sim._engaged
+    assert sim._engage_at == 64
+    # a spread-out second wave crosses the doubled trigger and engages
+    for i in range(40):
+        sim.schedule(1.0 + i * 0.01, lambda: None)
+    assert sim._engaged
+    sim.run()
+    assert sim.pending_events == 0

@@ -303,22 +303,37 @@ class TestProtocolSelectionBoundaries:
 
 
 # ---------------------------------------------------------------------------
-# engine heap compaction under heavy cancellation
+# engine slot reclamation under heavy cancellation
 # ---------------------------------------------------------------------------
 
 class TestHeapCompaction:
-    def test_cancelled_entries_are_compacted_and_order_preserved(self):
+    def test_cancelled_entries_are_reclaimed_and_order_preserved(self):
         sim = Simulator()
         fired = []
         handles = [sim.schedule(float(i), fired.append, i) for i in range(1000)]
         for i, h in enumerate(handles):
             if i % 10 != 0:
                 h.cancel()
-        # lazy deletion must have physically dropped the tombstone majority
-        assert len(sim._heap) <= 200
+        # cancellation is an O(1) tombstone: the live count drops immediately
+        assert sim.pending_events == 100
+        assert sim._tombstones == 900
         sim.run()
         assert fired == list(range(0, 1000, 10))
         assert sim.now == 990.0
+        # every tombstone was reaped and every slot returned to the freelist
+        assert sim._tombstones == 0
+        assert sim.pending_events == 0
+        assert len(sim._free) == len(sim._fn)
+
+    def test_slot_storage_bounded_under_churn(self):
+        # schedule/cancel churn must recycle slots, not grow the arrays
+        sim = Simulator()
+        for _ in range(100):
+            handles = [sim.schedule(1.0, lambda: None) for _ in range(50)]
+            for h in handles:
+                h.cancel()
+            sim.run()
+        assert len(sim._fn) <= 50
 
     def test_cancel_is_idempotent(self):
         sim = Simulator()
@@ -327,4 +342,4 @@ class TestHeapCompaction:
         h.cancel()
         assert h.cancelled
         sim.run()
-        assert sim._cancelled_count == 0
+        assert sim._tombstones == 0

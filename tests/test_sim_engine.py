@@ -173,3 +173,76 @@ def test_timeout_event_integration():
     sim.run()
     assert t.triggered and t.result() == "done"
     assert sim.now == 2.5
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+class TestHandleIdentity:
+    """Regression tests: handles must stay truthful across slot reuse.
+
+    The old engine's lazy-deletion compaction rebound heap entries under
+    live handles; cancel-after-fire and double-cancel of a compacted entry
+    corrupted the cancellation bookkeeping.  The slot core's generation
+    counters make every one of these a safe no-op.
+    """
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        h.cancel()  # the event already ran: nothing to suppress
+        assert not h.cancelled  # must not misreport the event as suppressed
+        assert h.time == 1.0
+
+    def test_cancel_after_fire_does_not_kill_slot_reuser(self):
+        sim = Simulator()
+        fired = []
+        h1 = sim.schedule(1.0, fired.append, "a")
+        sim.run()
+        h2 = sim.schedule(1.0, fired.append, "b")
+        assert h2._slot == h1._slot  # the freelist recycled the slot
+        h1.cancel()  # stale handle: must not cancel h2's event
+        sim.run()
+        assert fired == ["a", "b"]
+        assert not h1.cancelled and not h2.cancelled
+
+    def test_double_cancel_of_reclaimed_entry(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, fired.append, "x")
+        h.cancel()
+        sim.run()  # reaps the tombstone, frees the slot
+        h2 = sim.schedule(2.0, fired.append, "y")
+        assert h2._slot == h._slot
+        h.cancel()  # second cancel of a reclaimed entry: pure no-op
+        assert h.cancelled  # the first cancel did suppress the event
+        sim.run()
+        assert fired == ["y"]
+
+    def test_handle_time_stable_under_mass_cancellation(self):
+        # the old compaction pass rebuilt the agenda under the handles;
+        # Handle.time must stay truthful no matter how many reaps happen
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(500)]
+        for h in handles[1::2]:
+            h.cancel()
+        sim.run()
+        assert [h.time for h in handles] == [float(i) for i in range(500)]
+        assert all(h.cancelled for h in handles[1::2])
+        assert not any(h.cancelled for h in handles[::2])
+
+    def test_pending_lifecycle(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        assert h.pending
+        sim.run()
+        assert not h.pending and not h.cancelled
+        h2 = sim.schedule(1.0, lambda: None)
+        h2.cancel()
+        assert not h2.pending and h2.cancelled
