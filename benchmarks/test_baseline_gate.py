@@ -195,6 +195,27 @@ class TestCommittedBaseline:
             # small-node iteration time (the paper's flat-ish weak curves)
             assert weak["n256"]["iter_time_us"] < weak["n4"]["iter_time_us"] * 4
 
+    def test_collective_workloads_pin_hierarchical_win(self):
+        """The two 64-rank 1 MB allreduce points must be pinned, the
+        hierarchical variant must actually run the two-level algorithm,
+        and its modeled time must beat the flat variant's — the device-
+        collective crossover asserted as committed data."""
+        doc = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        flat = doc["entries"].get("coll_allreduce_ampi_64r_1M_flat")
+        hier = doc["entries"].get("coll_allreduce_ampi_64r_1M_hier")
+        assert flat is not None and hier is not None, (
+            "coll_allreduce_ampi_64r_1M_{flat,hier} missing from the "
+            "committed baseline — regenerate with: "
+            "python -m repro.bench.baseline record"
+        )
+        assert hier["counters"].get("coll.allreduce.hierarchical") == 64
+        assert flat["counters"].get("coll.allreduce.hierarchical", 0) == 0
+        assert flat["counters"].get("coll.allreduce") == 64
+        assert hier["sim_time_us"] < flat["sim_time_us"], (
+            f"hierarchical {hier['sim_time_us']:.1f}us not faster than "
+            f"flat {flat['sim_time_us']:.1f}us"
+        )
+
     def test_lossy_workload_committed_and_faulted(self):
         """The faulty-link OSU point must be pinned in the committed
         baseline, with actual recovery activity in its fingerprint."""

@@ -1,271 +1,97 @@
-"""MPI collectives built by translating to point-to-point calls.
+"""Deprecated free-function collectives.
 
-This is the strategy the paper names as future work for the Charm++
-ecosystem ("supporting collective communication of GPU data, using this
-work as the basis to translate collective communication primitives to
-point-to-point calls"); AMPI itself of course provides MPI collectives, so
-we implement the classical algorithms here:
-
-* barrier — dissemination (⌈log2 P⌉ rounds);
-* bcast / reduce — binomial trees;
-* allreduce — reduce + bcast;
-* gather / scatter — linear to/from the root;
-* allgather — ring;
-* alltoall — pairwise exchange;
-* bcast_device — binomial tree of GPU-aware pt2pt sends (the GPU-data
-  collective of the future-work paragraph).
-
-All are generator functions composed with ``yield from`` inside rank
-programs.  Value-based variants move Python/NumPy values; ``bcast_device``
-moves real device buffers through the GPU-aware path.
+The collective API moved onto the communicator objects themselves
+(:class:`repro.ampi.mpi.AmpiRank` / :class:`repro.ampi.mpi.CommView`):
+``yield from rank.allreduce_device(buf, nbytes, op=ReduceOp.SUM)`` instead
+of ``yield from allreduce_device(rank, buf, nbytes, "sum")``.  The method
+API adds per-call ``algorithm=`` overrides, topology-aware algorithm
+selection, and sub-communicator support; these shims keep the old call
+sites working with identical modeled timing, warning once per entry point
+(per the repo's deprecation policy — the warning class is an error under
+pytest unless explicitly expected).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, List, Optional
 
-import numpy as np
-
+from repro.collectives.engine import COLL_COMM as _COLL_COMM  # noqa: F401 (re-export)
+from repro.collectives.ops import ReduceOp  # noqa: F401 (re-export)
 from repro.hardware.memory import Buffer
 
-#: Collectives run on the reserved internal communicator.
-_COLL_COMM = 1
+__all__ = [
+    "allgather", "allreduce", "allreduce_device", "alltoall", "barrier",
+    "bcast", "bcast_device", "gather", "reduce", "reduce_device", "scatter",
+]
+
+_warned: set = set()
 
 
-def _combine(op: str, a: Any, b: Any) -> Any:
-    if op == "sum":
-        return a + b
-    if op == "prod":
-        return a * b
-    if op == "max":
-        return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
-    if op == "min":
-        return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
-    raise ValueError(f"unknown reduction op {op!r}")
-
-
-def barrier(rank):
-    """Dissemination barrier."""
-    p = rank.size
-    if p == 1:
+def _deprecated(name: str, replacement: str) -> None:
+    if name in _warned:
         return
-    k = 1
-    round_no = 0
-    while k < p:
-        dst = (rank.rank + k) % p
-        src = (rank.rank - k) % p
-        tag = 0x10_0000 + round_no
-        send = rank.send_value(None, 8, dst, tag, comm=_COLL_COMM)
-        yield rank.recv_value(src, tag, comm=_COLL_COMM)
-        yield send
-        k <<= 1
-        round_no += 1
+    _warned.add(name)
+    warnings.warn(
+        f"repro.ampi.collectives.{name}(rank, ...) is deprecated; "
+        f"use the communicator method {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _binomial_children(vrank: int, p: int) -> List[int]:
-    children = []
-    mask = 1
-    while mask < p:
-        if vrank & (mask - 1) == 0 and vrank | mask != vrank and vrank + mask < p:
-            if vrank & mask == 0:
-                children.append(vrank + mask)
-        mask <<= 1
-    return children
-
-
-def _binomial_parent(vrank: int) -> int:
-    if vrank == 0:
-        return -1
-    mask = 1
-    while vrank & mask == 0:
-        mask <<= 1
-    return vrank & ~mask
+# -- host-value collectives (old free-function signatures) ----------------------
+def barrier(rank):
+    _deprecated("barrier", "rank.barrier()")
+    return rank.barrier()
 
 
 def bcast(rank, value: Any, root: int, nbytes: int = 8):
-    """Binomial-tree broadcast; every rank returns the broadcast value."""
-    p = rank.size
-    vrank = (rank.rank - root) % p
-    tag = 0x11_0000
-    if vrank != 0:
-        parent = (_binomial_parent(vrank) + root) % p
-        status = yield rank.recv_value(parent, tag, comm=_COLL_COMM)
-        value = status.value
-    for child in _binomial_children(vrank, p):
-        yield rank.send_value(value, nbytes, (child + root) % p, tag, comm=_COLL_COMM)
-    return value
+    _deprecated("bcast", "rank.bcast(value, root)")
+    return rank.bcast(value, root, nbytes)
 
 
 def reduce(rank, value: Any, op: str, root: int, nbytes: int = 8):
-    """Binomial-tree reduction; the root returns the result, others None."""
-    p = rank.size
-    vrank = (rank.rank - root) % p
-    tag = 0x12_0000
-    acc = value
-    mask = 1
-    while mask < p:
-        if vrank & mask:
-            parent = ((vrank & ~mask) + root) % p
-            yield rank.send_value(acc, nbytes, parent, tag + mask, comm=_COLL_COMM)
-            return None
-        child = vrank | mask
-        if child < p:
-            status = yield rank.recv_value((child + root) % p, tag + mask, comm=_COLL_COMM)
-            acc = _combine(op, acc, status.value)
-        mask <<= 1
-    return acc
+    _deprecated("reduce", "rank.reduce(value, op, root)")
+    return rank.reduce(value, op, root, nbytes)
 
 
 def allreduce(rank, value: Any, op: str, nbytes: int = 8):
-    """Reduce to rank 0, then broadcast."""
-    acc = yield from reduce(rank, value, op, 0, nbytes)
-    result = yield from bcast(rank, acc, 0, nbytes)
-    return result
+    _deprecated("allreduce", "rank.allreduce(value, op)")
+    return rank.allreduce(value, op, nbytes)
 
 
 def gather(rank, value: Any, root: int, nbytes: int = 8):
-    """Linear gather; the root returns the list ordered by rank."""
-    tag = 0x13_0000
-    if rank.rank == root:
-        out: List[Any] = [None] * rank.size
-        out[root] = value
-        for _ in range(rank.size - 1):
-            status = yield rank.recv_value(-1, tag, comm=_COLL_COMM)
-            out[status.source] = status.value
-        return out
-    yield rank.send_value(value, nbytes, root, tag, comm=_COLL_COMM)
-    return None
-
-
-def scatter(rank, values: Optional[List[Any]], root: int, nbytes: int = 8):
-    """Linear scatter from the root; every rank returns its element."""
-    tag = 0x14_0000
-    if rank.rank == root:
-        if values is None or len(values) != rank.size:
-            raise ValueError("root must supply one value per rank")
-        for dst in range(rank.size):
-            if dst != root:
-                yield rank.send_value(values[dst], nbytes, dst, tag, comm=_COLL_COMM)
-        return values[root]
-    status = yield rank.recv_value(root, tag, comm=_COLL_COMM)
-    return status.value
+    _deprecated("gather", "rank.gather(value, root)")
+    return rank.gather(value, root, nbytes)
 
 
 def allgather(rank, value: Any, nbytes: int = 8):
-    """Ring allgather: P-1 steps, each forwarding the newest block."""
-    p = rank.size
-    out: List[Any] = [None] * p
-    out[rank.rank] = value
-    if p == 1:
-        return out
-    right = (rank.rank + 1) % p
-    left = (rank.rank - 1) % p
-    tag = 0x15_0000
-    carry_idx = rank.rank
-    for step in range(p - 1):
-        send = rank.send_value((carry_idx, out[carry_idx]), nbytes, right,
-                               tag + step, comm=_COLL_COMM)
-        status = yield rank.recv_value(left, tag + step, comm=_COLL_COMM)
-        yield send
-        carry_idx, block = status.value
-        out[carry_idx] = block
-    return out
+    _deprecated("allgather", "rank.allgather(value)")
+    return rank.allgather(value, nbytes)
+
+
+def scatter(rank, values: Optional[List[Any]], root: int, nbytes: int = 8):
+    _deprecated("scatter", "rank.scatter(values, root)")
+    return rank.scatter(values, root, nbytes)
 
 
 def alltoall(rank, values: List[Any], nbytes: int = 8):
-    """Pairwise-exchange all-to-all."""
-    p = rank.size
-    if len(values) != p:
-        raise ValueError("alltoall needs one value per destination")
-    out: List[Any] = [None] * p
-    out[rank.rank] = values[rank.rank]
-    tag = 0x16_0000
-    for step in range(1, p):
-        dst = (rank.rank + step) % p
-        src = (rank.rank - step) % p
-        send = rank.send_value(values[dst], nbytes, dst, tag + step, comm=_COLL_COMM)
-        status = yield rank.recv_value(src, tag + step, comm=_COLL_COMM)
-        yield send
-        out[src] = status.value
-    return out
+    _deprecated("alltoall", "rank.alltoall(values)")
+    return rank.alltoall(values, nbytes)
 
 
-def _combine_kernel(rank, acc: Buffer, incoming: Buffer, nbytes: int, op: str):
-    """Launch an elementwise combine kernel on the rank's GPU:
-    ``acc = acc <op> incoming`` over float64 payloads."""
-    import numpy as np
-
-    from repro.hardware.gpu import Kernel
-
-    def body() -> None:
-        if acc.data is None or incoming.data is None:
-            return
-        a = acc.data.view(np.float64)
-        b = incoming.data.view(np.float64)
-        n = nbytes // 8
-        if op == "sum":
-            a[:n] += b[:n]
-        elif op == "max":
-            np.maximum(a[:n], b[:n], out=a[:n])
-        elif op == "min":
-            np.minimum(a[:n], b[:n], out=a[:n])
-        else:  # pragma: no cover - guarded by caller
-            raise ValueError(op)
-
-    cuda = rank.charm.cuda
-    # 2 reads + 1 write per element
-    kernel = Kernel(f"combine-{op}", bytes_moved=3 * nbytes, body=body)
-    return cuda.launch(rank.gpu, kernel)
+# -- device-buffer collectives --------------------------------------------------
+def bcast_device(rank, buf: Buffer, nbytes: int, root: int):
+    _deprecated("bcast_device", "rank.bcast_device(buf, nbytes, root)")
+    return rank.bcast_device(buf, nbytes, root)
 
 
 def reduce_device(rank, buf: Buffer, nbytes: int, op: str, root: int):
-    """GPU-data reduction translated to point-to-point (paper SVI future
-    work).  ``buf`` holds this rank's contribution on entry and — at the
-    root — the combined result on exit.  Binomial tree; each combine step
-    is a GPU kernel over a scratch buffer."""
-    if not buf.on_device:
-        raise ValueError("reduce_device requires a device buffer")
-    if op not in ("sum", "max", "min"):
-        raise ValueError(f"reduce_device supports sum/max/min, not {op!r}")
-    p = rank.size
-    vrank = (rank.rank - root) % p
-    tag = 0x18_0000
-    scratch = None
-    mask = 1
-    while mask < p:
-        if vrank & mask:
-            parent = ((vrank & ~mask) + root) % p
-            yield rank.send(buf, nbytes, parent, tag + mask)
-            return
-        child = vrank | mask
-        if child < p:
-            if scratch is None:
-                scratch = rank.charm.cuda.malloc(
-                    rank.gpu, nbytes, materialize=not buf.is_virtual
-                )
-            yield rank.recv(scratch, nbytes, (child + root) % p, tag + mask)
-            yield _combine_kernel(rank, buf, scratch, nbytes, op)
-        mask <<= 1
+    _deprecated("reduce_device", "rank.reduce_device(buf, nbytes, op, root)")
+    return rank.reduce_device(buf, nbytes, op, root)
 
 
 def allreduce_device(rank, buf: Buffer, nbytes: int, op: str):
-    """Reduce to rank 0, then broadcast — all on GPU buffers."""
-    yield from reduce_device(rank, buf, nbytes, op, root=0)
-    yield from bcast_device(rank, buf, nbytes, root=0)
-
-
-def bcast_device(rank, buf: Buffer, nbytes: int, root: int):
-    """GPU-data broadcast translated to GPU-aware point-to-point sends
-    (binomial tree).  ``buf`` holds the payload at the root and receives it
-    everywhere else — the paper's future-work collective, working today
-    because pt2pt is device-aware."""
-    if not buf.on_device:
-        raise ValueError("bcast_device requires a device buffer")
-    p = rank.size
-    vrank = (rank.rank - root) % p
-    tag = 0x17_0000
-    if vrank != 0:
-        parent = (_binomial_parent(vrank) + root) % p
-        yield rank.recv(buf, nbytes, parent, tag)
-    for child in _binomial_children(vrank, p):
-        yield rank.send(buf, nbytes, (child + root) % p, tag)
+    _deprecated("allreduce_device", "rank.allreduce_device(buf, nbytes, op)")
+    return rank.allreduce_device(buf, nbytes, op)

@@ -35,6 +35,10 @@ from repro.ampi.matching import (
 )
 from repro.ampi.request import MpiRequest, waitall
 from repro.charm.charm import Charm
+from repro.collectives import engine as _coll_engine
+from repro.collectives import value as _coll_value
+from repro.collectives.endpoints import AmpiCollEndpoint
+from repro.collectives.ops import ReduceOp
 from repro.converse.message import CmiMessage
 from repro.core.device_buffer import CkDeviceBuffer, DeviceRdmaOp, DeviceRecvType
 from repro.hardware.links import path_transfer
@@ -74,7 +78,77 @@ class MpiCommError(RuntimeError):
 _host_send_ids = itertools.count(1)
 
 
-class AmpiRank:
+class _CollectiveApi:
+    """Collectives shared by :class:`AmpiRank` (the world communicator) and
+    :class:`CommView` (sub-communicators); all are used with ``yield from``.
+
+    Value collectives ride the envelope path via the communicator's
+    ``coll_send_value``/``coll_recv_value`` protocol; ``*_device``
+    collectives run the topology-aware algorithms of
+    :mod:`repro.collectives` over the GPU point-to-point path.  Each
+    invocation draws a per-communicator sequence number that namespaces its
+    wire tags, so overlapping collectives can never alias."""
+
+    _coll_seq = 0
+
+    def _next_coll_seq(self) -> int:
+        s = self._coll_seq
+        self._coll_seq = s + 1
+        return s
+
+    # -- host-value collectives -----------------------------------------------------
+    def barrier(self):
+        return _coll_value.barrier(self)
+
+    def bcast(self, value: Any, root: int = 0, nbytes: int = 8):
+        return _coll_value.bcast(self, value, root, nbytes)
+
+    def reduce(self, value: Any, op=ReduceOp.SUM, root: int = 0, nbytes: int = 8):
+        return _coll_value.reduce(self, value, op, root, nbytes)
+
+    def allreduce(self, value: Any, op=ReduceOp.SUM, nbytes: int = 8):
+        return _coll_value.allreduce(self, value, op, nbytes)
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 8):
+        return _coll_value.gather(self, value, root, nbytes)
+
+    def allgather(self, value: Any, nbytes: int = 8):
+        return _coll_value.allgather(self, value, nbytes)
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0, nbytes: int = 8):
+        return _coll_value.scatter(self, values, root, nbytes)
+
+    def alltoall(self, values: List[Any], nbytes: int = 8):
+        return _coll_value.alltoall(self, values, nbytes)
+
+    # -- device-buffer collectives (topology-aware algorithm selection) --------------
+    def bcast_device(self, buf: Buffer, nbytes: int, root: int = 0, *,
+                     algorithm: Optional[str] = None):
+        return _coll_engine.bcast_device(
+            AmpiCollEndpoint(self), buf, nbytes, root, algorithm
+        )
+
+    def reduce_device(self, buf: Buffer, nbytes: int, op=ReduceOp.SUM,
+                      root: int = 0, *, algorithm: Optional[str] = None):
+        return _coll_engine.reduce_device(
+            AmpiCollEndpoint(self), buf, nbytes, op, root, algorithm
+        )
+
+    def allreduce_device(self, buf: Buffer, nbytes: int, op=ReduceOp.SUM, *,
+                         algorithm: Optional[str] = None):
+        return _coll_engine.allreduce_device(
+            AmpiCollEndpoint(self), buf, nbytes, op, algorithm
+        )
+
+    def allgather_device(self, buf: Buffer, nbytes: int,
+                         recvbuf: Optional[Buffer] = None, *,
+                         algorithm: Optional[str] = None):
+        return _coll_engine.allgather_device(
+            AmpiCollEndpoint(self), buf, nbytes, recvbuf, algorithm
+        )
+
+
+class AmpiRank(_CollectiveApi):
     """One MPI rank (a chare on some PE).  All communication methods return
     yieldable events or :class:`MpiRequest` handles; rank *programs* are
     generator functions driven by the simulator."""
@@ -175,61 +249,17 @@ class AmpiRank:
     def recv_value(self, src: int, tag: int, comm: int = 0) -> SimEvent:
         return self._recv_impl(None, 1 << 62, src, tag, comm)
 
-    # -- collectives (use with ``yield from``) --------------------------------------
-    def barrier(self):
-        from repro.ampi.collectives import barrier
+    # -- collective wire protocol (repro.collectives rides on these) ----------------
+    def coll_send_value(self, value: Any, nbytes: int, dst: int, tag: int) -> SimEvent:
+        return self._send_impl(
+            None, nbytes, dst, tag, _coll_engine.COLL_COMM, value=value
+        )
 
-        return barrier(self)
+    def coll_recv_value(self, src: int, tag: int) -> SimEvent:
+        return self._recv_impl(None, 1 << 62, src, tag, _coll_engine.COLL_COMM)
 
-    def bcast(self, value: Any, root: int, nbytes: int = 8):
-        from repro.ampi.collectives import bcast
-
-        return bcast(self, value, root, nbytes)
-
-    def reduce(self, value: Any, op: str, root: int, nbytes: int = 8):
-        from repro.ampi.collectives import reduce
-
-        return reduce(self, value, op, root, nbytes)
-
-    def allreduce(self, value: Any, op: str, nbytes: int = 8):
-        from repro.ampi.collectives import allreduce
-
-        return allreduce(self, value, op, nbytes)
-
-    def gather(self, value: Any, root: int, nbytes: int = 8):
-        from repro.ampi.collectives import gather
-
-        return gather(self, value, root, nbytes)
-
-    def allgather(self, value: Any, nbytes: int = 8):
-        from repro.ampi.collectives import allgather
-
-        return allgather(self, value, nbytes)
-
-    def scatter(self, values: Optional[List[Any]], root: int, nbytes: int = 8):
-        from repro.ampi.collectives import scatter
-
-        return scatter(self, values, root, nbytes)
-
-    def alltoall(self, values: List[Any], nbytes: int = 8):
-        from repro.ampi.collectives import alltoall
-
-        return alltoall(self, values, nbytes)
-
-    def bcast_device(self, buf: Buffer, nbytes: int, root: int):
-        from repro.ampi.collectives import bcast_device
-
-        return bcast_device(self, buf, nbytes, root)
-
-    def reduce_device(self, buf: Buffer, nbytes: int, op: str, root: int):
-        from repro.ampi.collectives import reduce_device
-
-        return reduce_device(self, buf, nbytes, op, root)
-
-    def allreduce_device(self, buf: Buffer, nbytes: int, op: str):
-        from repro.ampi.collectives import allreduce_device
-
-        return allreduce_device(self, buf, nbytes, op)
+    def coll_local_source(self, source: int) -> int:
+        return source
 
     # -- probe and sub-communicators ----------------------------------------------
     def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG, comm: int = 0):
@@ -247,12 +277,10 @@ class AmpiRank:
         """``MPI_Comm_split`` (collective; use with ``yield from``).
         Returns a :class:`CommView` containing the ranks that passed the
         same ``color``, ordered by ``key`` (ties broken by world rank)."""
-        from repro.ampi.collectives import allgather
-
         if key is None:
             key = self.rank
         self._split_count = getattr(self, "_split_count", 0) + 1
-        infos = yield from allgather(self, (color, key, self.rank), nbytes=24)
+        infos = yield from self.allgather((color, key, self.rank), nbytes=24)
         colors = sorted({c for c, _k, _r in infos})
         members = [r for _k, r in sorted(
             (k, r) for c, k, r in infos if c == color
@@ -601,11 +629,12 @@ class Ampi:
         req.event.succeed(status)
 
 
-class CommView:
+class CommView(_CollectiveApi):
     """A sub-communicator view produced by :meth:`AmpiRank.comm_split`.
 
-    Exposes rank/size and point-to-point in the sub-communicator's rank
-    space; messages travel with the sub-communicator's context id, so they
+    Exposes rank/size, point-to-point and the full collective API
+    (:class:`_CollectiveApi`) in the sub-communicator's rank space;
+    messages travel with the sub-communicator's context id, so they
     never match world-communicator traffic.
     """
 
@@ -622,6 +651,25 @@ class CommView:
         if not 0 <= local_rank < self.size:
             raise ValueError(f"rank {local_rank} out of range for this communicator")
         return self.members[local_rank]
+
+    # -- collective wire protocol ---------------------------------------------------
+    @property
+    def _coll_comm(self) -> int:
+        # high-bit namespace keeps collective traffic disjoint from user
+        # pt2pt on the same sub-communicator (which travels with comm_id)
+        return (1 << 30) + self.comm_id
+
+    def coll_send_value(self, value: Any, nbytes: int, dst: int, tag: int) -> SimEvent:
+        return self._world._send_impl(
+            None, nbytes, self._global(dst), tag, self._coll_comm, value=value
+        )
+
+    def coll_recv_value(self, src: int, tag: int) -> SimEvent:
+        gsrc = ANY_SOURCE if src == ANY_SOURCE else self._global(src)
+        return self._world._recv_impl(None, 1 << 62, gsrc, tag, self._coll_comm)
+
+    def coll_local_source(self, source: int) -> int:
+        return self.members.index(source)
 
     def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> SimEvent:
         return self._world._send_impl(buf, nbytes, self._global(dst), tag, self.comm_id)

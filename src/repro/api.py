@@ -114,6 +114,22 @@ class Session:
         (requires tracing; see :mod:`repro.obs.critical_path`)."""
         return critical_path(self.machine.tracer, t0, t1)
 
+    def collectives_summary(self) -> Dict:
+        """What the device collectives did: per-collective/algorithm
+        invocation counts (always available) and cumulative intra- vs
+        inter-node phase time (needs ``.trace()``; zero without it)."""
+        tracer = self.machine.tracer
+        invocations = {
+            key[len("coll."):]: count
+            for key, count in sorted(self.counters.items())
+            if key.startswith("coll.")
+        }
+        return {
+            "invocations": invocations,
+            "intra_time_us": tracer.time_in("coll.intra") * 1e6,
+            "inter_time_us": tracer.time_in("coll.inter") * 1e6,
+        }
+
     def baseline_fingerprint(self) -> Dict:
         """Deterministic run fingerprint used by the perf-regression
         baseline gate (:mod:`repro.obs.baseline`)."""
@@ -148,6 +164,7 @@ class SessionBuilder:
         self._ranks_per_pe: int = 1
         self._n_pes: Optional[int] = None
         self._faults = None
+        self._collectives: Optional[Dict] = None
 
     def model(self, name: str) -> "SessionBuilder":
         if name not in MODELS:
@@ -176,6 +193,15 @@ class SessionBuilder:
         """Attach a deterministic :class:`repro.faults.FaultPlan`.  An empty
         plan is bit-identical to no plan; ``None`` clears a previous one."""
         self._faults = plan
+        return self
+
+    def collectives(self, **overrides) -> "SessionBuilder":
+        """Collective-algorithm knobs (``CollectivesConfig`` fields):
+        per-collective forced algorithms (``allreduce_algorithm="ring"``),
+        the global ``algorithm``, ``ring_chunk``, ``hierarchical_enabled``."""
+        merged = dict(self._collectives or {})
+        merged.update(overrides)
+        self._collectives = merged
         return self
 
     def ranks(self, n_ranks: Optional[int] = None, ranks_per_pe: int = 1) -> "SessionBuilder":
@@ -207,6 +233,8 @@ class SessionBuilder:
             cfg = cfg.with_flight(self._flight)
         if self._faults is not None:
             cfg = cfg.with_faults(self._faults)
+        if self._collectives:
+            cfg = cfg.with_collectives(**self._collectives)
 
         name = self._model
         charm = None
@@ -238,12 +266,15 @@ def build(
     """One-shot convenience: ``api.build(cfg, "openmpi", n_ranks=2)``.
 
     Keyword arguments map to the builder methods: ``nodes``, ``trace``,
-    ``flight``, ``gdrcopy``, ``faults``, ``n_ranks``, ``ranks_per_pe``,
+    ``flight``, ``gdrcopy``, ``faults``, ``collectives`` (a dict of
+    ``CollectivesConfig`` overrides), ``n_ranks``, ``ranks_per_pe``,
     ``n_pes``.
     """
     b = session(config).model(model)
     if "nodes" in kwargs:
         b.nodes(kwargs.pop("nodes"))
+    if "collectives" in kwargs:
+        b.collectives(**kwargs.pop("collectives"))
     if "trace" in kwargs:
         b.trace(kwargs.pop("trace"))
     if "flight" in kwargs:

@@ -10,20 +10,14 @@ say) pipeline safely.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.collectives.ops import ReduceOp
 from repro.converse.message import CmiMessage
 
 _BRANCH = 4
-
-_OPS: Dict[str, Callable[[Any, Any], Any]] = {
-    "sum": lambda a, b: a + b,
-    "prod": lambda a, b: a * b,
-    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
-    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
-}
 
 
 def _value_bytes(value: Any) -> int:
@@ -35,14 +29,14 @@ def _value_bytes(value: Any) -> int:
 class _RedState:
     __slots__ = ("remaining", "acc", "op", "callback")
 
-    def __init__(self, remaining: int, op: str) -> None:
+    def __init__(self, remaining: int, op: ReduceOp) -> None:
         self.remaining = remaining
         self.acc: Any = None
         self.op = op
         self.callback = None
 
     def merge(self, value: Any) -> None:
-        self.acc = value if self.acc is None else _OPS[self.op](self.acc, value)
+        self.acc = value if self.acc is None else self.op.combine(self.acc, value)
         self.remaining -= 1
 
 
@@ -86,15 +80,15 @@ class ReductionManager:
         if key not in self._states:
             pe_list, counts = self._layout(coll)
             expected = counts.get(pe, 0) + self._children_count(pe_list, pe)
-            self._states[key] = _RedState(expected, op="sum")
+            self._states[key] = _RedState(expected, op=ReduceOp.SUM)
         return self._states[key]
 
     # -- API --------------------------------------------------------------------
-    def contribute(self, chare, value: Any, op: str, callback) -> None:
+    def contribute(self, chare, value: Any, op=ReduceOp.SUM, callback=None) -> None:
         """Contribute ``value`` to the current reduction round of the
-        collection ``chare`` belongs to."""
-        if op not in _OPS:
-            raise ValueError(f"unknown reduction op {op!r} (have {sorted(_OPS)})")
+        collection ``chare`` belongs to.  ``op`` is a
+        :class:`~repro.collectives.ops.ReduceOp` or its string name."""
+        op = ReduceOp.of(op)
         cid = chare.thisProxy.chare_id
         coll = self.charm._chare_coll.get(cid)
         if coll is None:

@@ -17,6 +17,7 @@ from repro.charm4py.channels import Channel, _Endpoint, _Packet
 from repro.charm4py.chare import PyChare
 from repro.charm4py.cython_layer import CythonLayer
 from repro.charm4py.futures import Future
+from repro.collectives.ops import ReduceOp
 from repro.config import MachineConfig
 from repro.core.device_buffer import DeviceRdmaOp, DeviceRecvType
 
@@ -102,6 +103,21 @@ class Charm4py:
 
     def channel(self, local_chare: PyChare, remote_proxy) -> Channel:
         return Channel(self, local_chare, remote_proxy)
+
+    # -- reductions -------------------------------------------------------------
+    @property
+    def reductions(self):
+        """The underlying Charm++ reduction manager (shared tree)."""
+        return self.charm.reductions
+
+    def contribute(self, chare, value: Any, op=ReduceOp.SUM, callback=None) -> None:
+        """Charm4py-side ``contribute``: pays the Python call and Cython
+        crossing before entering the C++ reduction tree (Fig. 9's stack);
+        ``op`` is a :class:`ReduceOp` or its string name."""
+        self.charm.charge_current_pe(
+            self.rt.py_call_overhead + self.rt.cython_crossing_overhead
+        )
+        self.charm.reductions.contribute(chare, value, op, callback)
 
     # -- chare creation ------------------------------------------------------------
     def create_chare(self, cls, pe: int, *args, **kwargs) -> PyProxy:

@@ -1,0 +1,180 @@
+"""Host-value collectives (Python values over the envelope path).
+
+The classical algorithms of the old ``repro.ampi.collectives`` module —
+dissemination barrier, binomial bcast/reduce, linear gather/scatter, ring
+allgather, pairwise alltoall — re-homed onto the communicator protocol
+(``rank``/``size``/``coll_send_value``/``coll_recv_value``/
+``coll_local_source``/``_next_coll_seq``) so :class:`~repro.ampi.mpi.AmpiRank`
+and :class:`~repro.ampi.mpi.CommView` share one implementation, with wire
+tags derived from the per-communicator collective sequence number instead
+of fixed per-type bases (overlapping collectives can no longer alias, and
+``gather``'s wildcard receives can no longer swallow a later invocation's
+sends).
+
+Reduction operators are :class:`~repro.collectives.ops.ReduceOp`; strings
+are normalized at entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.collectives.engine import PHASE_BITS, STEP_BITS, _SEQ_MASK
+from repro.collectives.ops import ReduceOp
+
+ANY_SOURCE = -1
+
+__all__ = [
+    "allgather", "allreduce", "alltoall", "barrier", "bcast", "gather",
+    "reduce", "scatter",
+]
+
+
+def _base(comm) -> int:
+    """Tag base of one invocation: the same (seq, phase, step) layout as
+    the device collectives, phase 0."""
+    return (comm._next_coll_seq() & _SEQ_MASK) << (STEP_BITS + PHASE_BITS)
+
+
+def barrier(comm):
+    """Dissemination barrier."""
+    base = _base(comm)
+    p = comm.size
+    if p == 1:
+        return
+    k = 1
+    round_no = 0
+    while k < p:
+        dst = (comm.rank + k) % p
+        src = (comm.rank - k) % p
+        send = comm.coll_send_value(None, 8, dst, base + round_no)
+        yield comm.coll_recv_value(src, base + round_no)
+        yield send
+        k <<= 1
+        round_no += 1
+
+
+def _parent(vrank: int) -> int:
+    return vrank & (vrank - 1)
+
+
+def _children(vrank: int, p: int) -> List[int]:
+    children = []
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            break
+        if vrank | mask < p:
+            children.append(vrank | mask)
+        mask <<= 1
+    return children
+
+
+def bcast(comm, value: Any, root: int = 0, nbytes: int = 8):
+    """Binomial-tree broadcast; every rank returns the broadcast value."""
+    base = _base(comm)
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    if vrank != 0:
+        parent = (_parent(vrank) + root) % p
+        status = yield comm.coll_recv_value(parent, base)
+        value = status.value
+    for child in _children(vrank, p):
+        yield comm.coll_send_value(value, nbytes, (child + root) % p, base)
+    return value
+
+
+def reduce(comm, value: Any, op=ReduceOp.SUM, root: int = 0, nbytes: int = 8):
+    """Binomial-tree reduction; the root returns the result, others None."""
+    op = ReduceOp.of(op)
+    base = _base(comm)
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % p
+            yield comm.coll_send_value(acc, nbytes, parent, base + mask)
+            return None
+        child = vrank | mask
+        if child < p:
+            status = yield comm.coll_recv_value((child + root) % p, base + mask)
+            acc = op.combine(acc, status.value)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm, value: Any, op=ReduceOp.SUM, nbytes: int = 8):
+    """Reduce to rank 0, then broadcast."""
+    acc = yield from reduce(comm, value, op, 0, nbytes)
+    result = yield from bcast(comm, acc, 0, nbytes)
+    return result
+
+
+def gather(comm, value: Any, root: int = 0, nbytes: int = 8):
+    """Linear gather; the root returns the list ordered by rank."""
+    base = _base(comm)
+    if comm.rank == root:
+        out: List[Any] = [None] * comm.size
+        out[root] = value
+        for _ in range(comm.size - 1):
+            status = yield comm.coll_recv_value(ANY_SOURCE, base)
+            out[comm.coll_local_source(status.source)] = status.value
+        return out
+    yield comm.coll_send_value(value, nbytes, root, base)
+    return None
+
+
+def scatter(comm, values: Optional[List[Any]], root: int = 0, nbytes: int = 8):
+    """Linear scatter from the root; every rank returns its element."""
+    base = _base(comm)
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError("root must supply one value per rank")
+        for dst in range(comm.size):
+            if dst != root:
+                yield comm.coll_send_value(values[dst], nbytes, dst, base)
+        return values[root]
+    status = yield comm.coll_recv_value(root, base)
+    return status.value
+
+
+def allgather(comm, value: Any, nbytes: int = 8):
+    """Ring allgather: P-1 steps, each forwarding the newest block."""
+    base = _base(comm)
+    p = comm.size
+    out: List[Any] = [None] * p
+    out[comm.rank] = value
+    if p == 1:
+        return out
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    carry_idx = comm.rank
+    for step in range(p - 1):
+        send = comm.coll_send_value(
+            (carry_idx, out[carry_idx]), nbytes, right, base + step
+        )
+        status = yield comm.coll_recv_value(left, base + step)
+        yield send
+        carry_idx, block = status.value
+        out[carry_idx] = block
+    return out
+
+
+def alltoall(comm, values: List[Any], nbytes: int = 8):
+    """Pairwise-exchange all-to-all."""
+    base = _base(comm)
+    p = comm.size
+    if len(values) != p:
+        raise ValueError("alltoall needs one value per destination")
+    out: List[Any] = [None] * p
+    out[comm.rank] = values[comm.rank]
+    for step in range(1, p):
+        dst = (comm.rank + step) % p
+        src = (comm.rank - step) % p
+        send = comm.coll_send_value(values[dst], nbytes, dst, base + step)
+        status = yield comm.coll_recv_value(src, base + step)
+        yield send
+        out[src] = status.value
+    return out

@@ -160,6 +160,37 @@ class TagConfig:
 
 
 @dataclass(frozen=True)
+class CollectivesConfig:
+    """Device-collective behaviour (``repro.collectives``).
+
+    By default each collective call picks the algorithm whose predicted
+    completion time — derived from the link model, never from per-algorithm
+    constants — is smallest for the message size, rank count and topology at
+    hand.  The knobs here force a choice instead (``algorithm`` globally,
+    ``<collective>_algorithm`` per collective; per-call ``algorithm=``
+    arguments override both).
+    """
+
+    algorithm: Optional[str] = None
+    bcast_algorithm: Optional[str] = None
+    reduce_algorithm: Optional[str] = None
+    allreduce_algorithm: Optional[str] = None
+    allgather_algorithm: Optional[str] = None
+    # Pipeline granularity of the ring/chain algorithms (8-byte aligned so
+    # chunk boundaries never split a float64 element).
+    ring_chunk: int = 512 * KB
+    # Allow the two-level decomposition (intra-node phase over NVLink,
+    # inter-node phase over the NIC) to compete in selection.
+    hierarchical_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ring_chunk < 8 or self.ring_chunk % 8:
+            raise ValueError(
+                f"ring_chunk must be a positive multiple of 8, got {self.ring_chunk}"
+            )
+
+
+@dataclass(frozen=True)
 class RuntimeConfig:
     """Per-layer software overheads of the programming models.
 
@@ -254,6 +285,7 @@ class MachineConfig:
     ucx: UcxConfig = field(default_factory=UcxConfig)
     tags: TagConfig = field(default_factory=TagConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    collectives: CollectivesConfig = field(default_factory=CollectivesConfig)
     # Carry real numpy payloads in buffers at/below this size; larger buffers
     # are virtual (size-only).  Keeps paper-scale Jacobi domains cheap.
     payload_materialize_limit: int = 4 * MB
@@ -329,6 +361,11 @@ class MachineConfig:
 
     def with_topology(self, **overrides) -> "MachineConfig":
         return replace(self, topology=_validated_replace(self.topology, overrides))
+
+    def with_collectives(self, **overrides) -> "MachineConfig":
+        return replace(
+            self, collectives=_validated_replace(self.collectives, overrides)
+        )
 
 
 def _validated_replace(cfg, overrides: dict):

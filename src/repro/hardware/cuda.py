@@ -128,8 +128,12 @@ class CudaRuntime:
     def ipc_open_cost(self, opener_gpu: int, handle: IpcHandle) -> float:
         """First open of a handle by a given GPU is expensive; UCX caches
         opened handles, so repeats are nearly free (paper §I cites exactly
-        this optimisation burden for hand-rolled IPC)."""
-        key = (opener_gpu, handle.buffer_address)
+        this optimisation burden for hand-rolled IPC).  Sub-range views
+        share their base allocation's handle — CUDA IPC opens whole
+        allocations, so chunked sends out of one buffer open once."""
+        buf = self._ipc_registry.get(handle.buffer_address)
+        base = buf.base if buf is not None and buf.base is not None else buf
+        key = (opener_gpu, base.address if base is not None else handle.buffer_address)
         if key in self._ipc_open_cache:
             return self.cfg.ipc_cached_open_cost
         self._ipc_open_cache[key] = True

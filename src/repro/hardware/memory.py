@@ -51,7 +51,8 @@ class Buffer:
         ``data.nbytes`` must equal ``size``.
     """
 
-    __slots__ = ("kind", "size", "node", "device", "data", "address", "freed")
+    __slots__ = ("kind", "size", "node", "device", "data", "address", "freed",
+                 "base")
 
     def __init__(
         self,
@@ -76,6 +77,7 @@ class Buffer:
         self.data = data
         self.address = next(_address_counter)
         self.freed = False
+        self.base: Optional["Buffer"] = None  # set on sub-range views
 
     # -- predicates ---------------------------------------------------------
     @property
@@ -111,6 +113,25 @@ class Buffer:
         dst_flat = self.data.reshape(-1).view(np.uint8)
         src_flat = src.data.reshape(-1).view(np.uint8)
         dst_flat[:n] = src_flat[:n]
+
+    def view(self, offset: int, nbytes: int) -> "Buffer":
+        """A sub-range view sharing this buffer's payload memory (the
+        collectives send/combine per-rank blocks of one allocation).  Views
+        have their own ``address`` — address-keyed caches (the GPU-pointer
+        cache) treat them as distinct pointers, as CUDA does for
+        ``base + offset``.  Virtual buffers view fine (size-only)."""
+        if self.freed:
+            raise RuntimeError("view of a freed Buffer")
+        if offset < 0 or nbytes <= 0 or offset + nbytes > self.size:
+            raise ValueError(
+                f"view [{offset}, {offset + nbytes}) outside a {self.size} B buffer"
+            )
+        data = None
+        if self.data is not None:
+            data = self.data.reshape(-1).view(np.uint8)[offset:offset + nbytes]
+        out = Buffer(self.kind, nbytes, self.node, self.device, data)
+        out.base = self if self.base is None else self.base
+        return out
 
     def fill(self, byte: int) -> None:
         if self.data is not None:

@@ -103,6 +103,13 @@ WORKLOADS: Dict[str, Tuple] = {
     "jacobi_ampi_strong_256": ("jacobi", "ampi", "strong", (8, 64, 256)),
     "jacobi_charm4py_weak_256": ("jacobi", "charm4py", "weak", (4, 64, 256)),
     "jacobi_charm4py_strong_256": ("jacobi", "charm4py", "strong", (8, 64, 256)),
+    # Device-collective fingerprints: one 64-rank 1 MB allreduce across 11
+    # nodes, flat (hierarchical disabled, auto-selected flat algorithm) vs
+    # hierarchical (two-level NVLink/IB decomposition).  The gate asserts
+    # the hierarchical run stays *faster* than the flat one — the PR's
+    # headline crossover, pinned as data.
+    "coll_allreduce_ampi_64r_1M_flat": ("coll", "flat"),
+    "coll_allreduce_ampi_64r_1M_hier": ("coll", "hier"),
 }
 
 _ITERS = 6
@@ -121,6 +128,33 @@ DEFAULT_WALLCLOCK_BUDGET = 30.0
 WALLCLOCK_BUDGETS: Dict[str, float] = {
     name: 90.0 for name in WORKLOADS if name.startswith("jacobi_")
 }
+WALLCLOCK_BUDGETS.update(
+    {name: 60.0 for name in WORKLOADS if name.startswith("coll_")}
+)
+
+#: Shape of the collective baseline points (see the ``coll_*`` workloads).
+_COLL_RANKS = 64
+_COLL_NODES = 11
+_COLL_NBYTES = 1 << 20
+
+
+def _run_coll_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
+    import repro.api as api
+
+    variant = spec[1]
+    cfg = config if config is not None else MachineConfig.summit(nodes=2)
+    # virtual payloads: the fingerprint pins modeled time, not numerics
+    cfg = cfg.with_nodes(_COLL_NODES).with_virtual_payload().with_flight(True)
+    if variant == "flat":
+        cfg = cfg.with_collectives(hierarchical_enabled=False)
+    sess = api.session(cfg).model("ampi").ranks(_COLL_RANKS).build()
+
+    def program(rank):
+        buf = rank.charm.cuda.malloc(rank.gpu, _COLL_NBYTES)
+        yield from rank.allreduce_device(buf, _COLL_NBYTES)
+
+    sess.run_until(sess.launch(program), max_events=200_000_000)
+    return sess.baseline_fingerprint()
 
 
 def _run_jacobi_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
@@ -162,6 +196,8 @@ def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
         )
     if spec[0] == "jacobi":
         return _run_jacobi_workload(spec, config)
+    if spec[0] == "coll":
+        return _run_coll_workload(spec, config)
     model, size, placement = spec[:3]
     cfg = (config if config is not None else MachineConfig.summit(nodes=2))
     if len(spec) == 4:

@@ -24,6 +24,9 @@ layer                     span sources
                           (``am_send`` + its wire/fetch time)
 ``link``                  bulk data wire time (``link`` spans)
 ``fault_recovery``        retransmit backoff waits (``fault`` spans)
+``collective``            device-collective root spans (``coll``)
+``coll_intra``            intra-node ops of device collectives (``coll.intra``)
+``coll_inter``            inter-node ops of device collectives (``coll.inter``)
 ``uninstrumented``        gaps covered by no span
 ========================  =====================================================
 
@@ -57,6 +60,12 @@ def layer_of(category: str, name: str) -> str:
         return "machine"
     if category == "converse":
         return "host_metadata"
+    if category == "coll.intra":
+        return "coll_intra"
+    if category == "coll.inter":
+        return "coll_inter"
+    if category == "coll":
+        return "collective"
     if category in ("ampi", "openmpi", "charm", "charm4py", "osu", "jacobi3d"):
         return "model"
     return "other"

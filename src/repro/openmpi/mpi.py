@@ -16,6 +16,9 @@ from typing import Any, List, Optional
 
 from repro.ampi.mpi import MpiCommError, MpiStatus, MpiTruncationError
 from repro.ampi.request import MpiRequest, waitall
+from repro.collectives import engine as _coll_engine
+from repro.collectives.endpoints import OmpiCollEndpoint
+from repro.collectives.ops import ReduceOp
 from repro.config import MachineConfig
 from repro.hardware.memory import Buffer
 from repro.hardware.topology import Machine
@@ -67,6 +70,12 @@ class OmpiRank:
         self.worker = lib.ucp.create_worker(rank, self.node, lib.machine.socket_of_gpu(rank))
         self.pe = rank  # API compatibility with AmpiRank
         self._cpu_free = 0.0
+        self._coll_seq = 0
+
+    def _next_coll_seq(self) -> int:
+        s = self._coll_seq
+        self._coll_seq = s + 1
+        return s
 
     def _cpu_delay(self, cost: float) -> float:
         """Serialise per-call CPU costs of back-to-back non-blocking ops."""
@@ -88,9 +97,10 @@ class OmpiRank:
         return self.lib
 
     # -- point-to-point ------------------------------------------------------------
-    def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> SimEvent:
+    def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0, *,
+             _ctx: int = 1) -> SimEvent:
         ev = SimEvent(self.sim, name=f"ompi.send r{self.rank}->r{dst}")
-        ucp_tag = encode_mpi_tag(self.rank, tag)
+        ucp_tag = encode_mpi_tag(self.rank, tag, _ctx)
         tracer = self.lib.machine.tracer
         tracer.count("openmpi", "send")
         tracer.charge("openmpi", self.lib.rt.ompi_send_overhead)
@@ -117,11 +127,14 @@ class OmpiRank:
         return ev
 
     def recv(
-        self, buf: Buffer, capacity: int, src: int = ANY_SOURCE, tag: int = ANY_TAG
+        self, buf: Buffer, capacity: int, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+        *, _ctx: int = 1,
     ) -> SimEvent:
         ev = SimEvent(self.sim, name=f"ompi.recv r{self.rank}")
-        want = encode_mpi_tag(0 if src == ANY_SOURCE else src, 0 if tag == ANY_TAG else tag)
-        mask = match_mask(src, tag)
+        want = encode_mpi_tag(
+            0 if src == ANY_SOURCE else src, 0 if tag == ANY_TAG else tag, _ctx
+        )
+        mask = match_mask(src, tag)  # ctx bits are always matched
         tracer = self.lib.machine.tracer
         tracer.count("openmpi", "recv")
         tracer.charge("openmpi", self.lib.rt.ompi_recv_overhead)
@@ -176,9 +189,15 @@ class OmpiRank:
     def waitall(self, requests: List[MpiRequest]) -> SimEvent:
         return waitall(self.sim, requests)
 
-    # -- minimal collectives -----------------------------------------------------------
+    # -- collectives (use with ``yield from``) -----------------------------------------
     def barrier(self):
-        """Dissemination barrier over 1-byte host messages."""
+        """Dissemination barrier over 1-byte host messages, in the
+        collective tag context and namespaced by the invocation's sequence
+        number (overlapping barriers can never alias)."""
+        base = (
+            (self._next_coll_seq() & _coll_engine._SEQ_MASK)
+            << (_coll_engine.STEP_BITS + _coll_engine.PHASE_BITS)
+        )
         p = self.size
         if p == 1:
             return
@@ -189,12 +208,38 @@ class OmpiRank:
         while k < p:
             dst = (self.rank + k) % p
             src = (self.rank - k) % p
-            tag = 0x3FF0_0000 + round_no
-            send = self.send(token, 1, dst, tag)
-            yield self.recv(sink, 1, src, tag)
+            tag = base + round_no
+            send = self.send(token, 1, dst, tag, _ctx=OmpiCollEndpoint.COLL_CTX)
+            yield self.recv(sink, 1, src, tag, _ctx=OmpiCollEndpoint.COLL_CTX)
             yield send
             k <<= 1
             round_no += 1
+
+    # -- device-buffer collectives (topology-aware algorithm selection) ---------------
+    def bcast_device(self, buf: Buffer, nbytes: int, root: int = 0, *,
+                     algorithm: Optional[str] = None):
+        return _coll_engine.bcast_device(
+            OmpiCollEndpoint(self), buf, nbytes, root, algorithm
+        )
+
+    def reduce_device(self, buf: Buffer, nbytes: int, op=ReduceOp.SUM,
+                      root: int = 0, *, algorithm: Optional[str] = None):
+        return _coll_engine.reduce_device(
+            OmpiCollEndpoint(self), buf, nbytes, op, root, algorithm
+        )
+
+    def allreduce_device(self, buf: Buffer, nbytes: int, op=ReduceOp.SUM, *,
+                         algorithm: Optional[str] = None):
+        return _coll_engine.allreduce_device(
+            OmpiCollEndpoint(self), buf, nbytes, op, algorithm
+        )
+
+    def allgather_device(self, buf: Buffer, nbytes: int,
+                         recvbuf: Optional[Buffer] = None, *,
+                         algorithm: Optional[str] = None):
+        return _coll_engine.allgather_device(
+            OmpiCollEndpoint(self), buf, nbytes, recvbuf, algorithm
+        )
 
 
 class OpenMpi:
