@@ -216,6 +216,40 @@ class TestCommittedBaseline:
             f"flat {flat['sim_time_us']:.1f}us"
         )
 
+    def test_shuffle_workloads_pin_pool_win(self):
+        """The shuffle ablation points must be pinned pairwise, the pooled
+        variant must actually amortise (one first-touch mapping per
+        communicator pair, pool hits in the steady state), and its modeled
+        time must beat the direct variant's by at least 2x — the pooled-
+        allocator headline, asserted as committed data."""
+        doc = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        for model, nodes in (("ampi", 4), ("charm4py", 4), ("openmpi", 2)):
+            pool = doc["entries"].get(f"shuffle_{model}_{nodes}n_pool")
+            direct = doc["entries"].get(f"shuffle_{model}_{nodes}n_direct")
+            assert pool is not None and direct is not None, (
+                f"shuffle_{model}_{nodes}n_{{pool,direct}} missing from the "
+                "committed baseline — regenerate with: "
+                "python -m repro.bench.baseline record"
+            )
+            # same traffic on both sides of the ablation
+            assert pool["bytes_moved"] == direct["bytes_moved"]
+            assert pool["chunks_moved"] == direct["chunks_moved"]
+            ranks = nodes * 6
+            pairs = ranks * (ranks - 1)
+            # pooled: first-touch mappings collapse to one per directed
+            # pair; the steady state is all hits and pool reuse
+            assert pool["counters"]["ucx.mapping_new"] == pairs
+            assert pool["counters"]["ucx.mapping_hit"] > 0
+            assert pool["counters"]["mem.pool_hit"] > 0
+            assert pool["counters"].get("mem.pool_return", 0) > 0
+            # direct: every round re-pays the mappings, no pool activity
+            assert direct["counters"]["ucx.mapping_new"] > 2 * pairs
+            assert "mem.pool_hit" not in direct["counters"]
+            assert pool["sim_time_us"] * 2 < direct["sim_time_us"], (
+                f"shuffle_{model}: pooled {pool['sim_time_us']:.1f}us not "
+                f"2x faster than direct {direct['sim_time_us']:.1f}us"
+            )
+
     def test_lossy_workload_committed_and_faulted(self):
         """The faulty-link OSU point must be pinned in the committed
         baseline, with actual recovery activity in its fingerprint."""

@@ -1,97 +1,22 @@
-"""Deprecated free-function collectives.
+"""Removed: the free-function collectives moved onto the communicators.
 
-The collective API moved onto the communicator objects themselves
-(:class:`repro.ampi.mpi.AmpiRank` / :class:`repro.ampi.mpi.CommView`):
-``yield from rank.allreduce_device(buf, nbytes, op=ReduceOp.SUM)`` instead
-of ``yield from allreduce_device(rank, buf, nbytes, "sum")``.  The method
-API adds per-call ``algorithm=`` overrides, topology-aware algorithm
-selection, and sub-communicator support; these shims keep the old call
-sites working with identical modeled timing, warning once per entry point
-(per the repo's deprecation policy — the warning class is an error under
-pytest unless explicitly expected).
+The warn-once deprecation shims lived here for two PRs; per the repo's
+deprecation policy they are now gone.  Call the methods on
+:class:`repro.ampi.mpi.AmpiRank` / :class:`repro.ampi.mpi.CommView`
+instead::
+
+    yield from rank.allreduce(value, op="sum")
+    yield from rank.allreduce_device(buf, nbytes, op=ReduceOp.SUM)
+
+The method API also carries the per-call ``algorithm=`` override,
+topology-aware selection, and sub-communicator (``comm_split``) support
+the free functions never had.  ``ReduceOp`` and the collective engine
+live in :mod:`repro.collectives`.
 """
 
-from __future__ import annotations
-
-import warnings
-from typing import Any, List, Optional
-
-from repro.collectives.engine import COLL_COMM as _COLL_COMM  # noqa: F401 (re-export)
-from repro.collectives.ops import ReduceOp  # noqa: F401 (re-export)
-from repro.hardware.memory import Buffer
-
-__all__ = [
-    "allgather", "allreduce", "allreduce_device", "alltoall", "barrier",
-    "bcast", "bcast_device", "gather", "reduce", "reduce_device", "scatter",
-]
-
-_warned: set = set()
-
-
-def _deprecated(name: str, replacement: str) -> None:
-    if name in _warned:
-        return
-    _warned.add(name)
-    warnings.warn(
-        f"repro.ampi.collectives.{name}(rank, ...) is deprecated; "
-        f"use the communicator method {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-# -- host-value collectives (old free-function signatures) ----------------------
-def barrier(rank):
-    _deprecated("barrier", "rank.barrier()")
-    return rank.barrier()
-
-
-def bcast(rank, value: Any, root: int, nbytes: int = 8):
-    _deprecated("bcast", "rank.bcast(value, root)")
-    return rank.bcast(value, root, nbytes)
-
-
-def reduce(rank, value: Any, op: str, root: int, nbytes: int = 8):
-    _deprecated("reduce", "rank.reduce(value, op, root)")
-    return rank.reduce(value, op, root, nbytes)
-
-
-def allreduce(rank, value: Any, op: str, nbytes: int = 8):
-    _deprecated("allreduce", "rank.allreduce(value, op)")
-    return rank.allreduce(value, op, nbytes)
-
-
-def gather(rank, value: Any, root: int, nbytes: int = 8):
-    _deprecated("gather", "rank.gather(value, root)")
-    return rank.gather(value, root, nbytes)
-
-
-def allgather(rank, value: Any, nbytes: int = 8):
-    _deprecated("allgather", "rank.allgather(value)")
-    return rank.allgather(value, nbytes)
-
-
-def scatter(rank, values: Optional[List[Any]], root: int, nbytes: int = 8):
-    _deprecated("scatter", "rank.scatter(values, root)")
-    return rank.scatter(values, root, nbytes)
-
-
-def alltoall(rank, values: List[Any], nbytes: int = 8):
-    _deprecated("alltoall", "rank.alltoall(values)")
-    return rank.alltoall(values, nbytes)
-
-
-# -- device-buffer collectives --------------------------------------------------
-def bcast_device(rank, buf: Buffer, nbytes: int, root: int):
-    _deprecated("bcast_device", "rank.bcast_device(buf, nbytes, root)")
-    return rank.bcast_device(buf, nbytes, root)
-
-
-def reduce_device(rank, buf: Buffer, nbytes: int, op: str, root: int):
-    _deprecated("reduce_device", "rank.reduce_device(buf, nbytes, op, root)")
-    return rank.reduce_device(buf, nbytes, op, root)
-
-
-def allreduce_device(rank, buf: Buffer, nbytes: int, op: str):
-    _deprecated("allreduce_device", "rank.allreduce_device(buf, nbytes, op)")
-    return rank.allreduce_device(buf, nbytes, op)
+raise ImportError(
+    "repro.ampi.collectives was removed: the free-function shims "
+    "(allreduce, bcast_device, ...) moved onto the communicator objects. "
+    "Use rank.allreduce(...) / rank.allreduce_device(...) etc. "
+    "(repro.ampi.mpi.AmpiRank, CommView); ReduceOp is in repro.collectives."
+)

@@ -191,6 +191,25 @@ class AmpiRank(_CollectiveApi):
     def node(self) -> int:
         return self.charm.pe_object(self.pe).node
 
+    # -- device memory ------------------------------------------------------------
+    def alloc_device(self, nbytes: int,
+                     materialize: Optional[bool] = None) -> Buffer:
+        """Allocate ``nbytes`` on this rank's GPU (through the configured
+        allocator — pooled when ``MemoryConfig.allocator == "pool"``).
+        Exhaustion surfaces as :class:`MpiCommError` with
+        ``ERR_NO_MEMORY``, like any other communication fault."""
+        from repro.hardware.memory import OutOfMemory
+        from repro.ucx.status import UcsStatus
+
+        try:
+            return self.charm.machine.alloc_device(self.gpu, nbytes, materialize)
+        except OutOfMemory as exc:
+            raise MpiCommError(str(exc), UcsStatus.ERR_NO_MEMORY) from exc
+
+    def free_device(self, buf: Buffer) -> None:
+        """Free (or pool-return) a buffer from :meth:`alloc_device`."""
+        self.charm.machine.free_device(buf)
+
     # -- point-to-point ------------------------------------------------------------
     def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0) -> SimEvent:
         """``MPI_Send`` (yield the returned event to block until the buffer

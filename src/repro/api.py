@@ -165,6 +165,7 @@ class SessionBuilder:
         self._n_pes: Optional[int] = None
         self._faults = None
         self._collectives: Optional[Dict] = None
+        self._memory: Optional[Dict] = None
 
     def model(self, name: str) -> "SessionBuilder":
         if name not in MODELS:
@@ -204,6 +205,20 @@ class SessionBuilder:
         self._collectives = merged
         return self
 
+    def memory(self, **overrides) -> "SessionBuilder":
+        """Allocator knobs (``MemoryConfig`` fields): ``allocator="pool"``,
+        ``pool_slab_bytes``, ``pool_bin_quantum``, ``pool_max_bytes``,
+        ``pool_auto_trim``, ``pool_retain_slabs``."""
+        merged = dict(self._memory or {})
+        merged.update(overrides)
+        self._memory = merged
+        return self
+
+    def pool(self, enabled: bool = True) -> "SessionBuilder":
+        """Shorthand: route device allocation through the slab pool (or
+        explicitly through the direct allocator with ``pool(False)``)."""
+        return self.memory(allocator="pool" if enabled else "direct")
+
     def ranks(self, n_ranks: Optional[int] = None, ranks_per_pe: int = 1) -> "SessionBuilder":
         """MPI-model rank layout (AMPI virtualisation via ``ranks_per_pe``)."""
         self._n_ranks = n_ranks
@@ -235,6 +250,8 @@ class SessionBuilder:
             cfg = cfg.with_faults(self._faults)
         if self._collectives:
             cfg = cfg.with_collectives(**self._collectives)
+        if self._memory:
+            cfg = cfg.with_memory(**self._memory)
 
         name = self._model
         charm = None
@@ -275,6 +292,8 @@ def build(
         b.nodes(kwargs.pop("nodes"))
     if "collectives" in kwargs:
         b.collectives(**kwargs.pop("collectives"))
+    if "memory" in kwargs:
+        b.memory(**kwargs.pop("memory"))
     if "trace" in kwargs:
         b.trace(kwargs.pop("trace"))
     if "flight" in kwargs:

@@ -1,0 +1,15 @@
+"""Dask-style all-to-all dataframe shuffle over the GPU-aware models.
+
+The production workload the pooled-allocator / endpoint-lifecycle model
+exists for ("Efficient MPI-based Communication for GPU-Accelerated Dask
+Applications"): every rank repartitions its dataframe chunk to every other
+rank, round after round, driving O(ranks²) communicator pairs.  With
+first-touch mapping costs enabled, a pooled allocator amortises the
+per-(buffer, peer) registrations to one wave; direct allocation pays them
+again every round.
+"""
+
+from repro.apps.shuffle.common import ShufflePlan, ShuffleResult, chunk_bytes
+from repro.apps.shuffle.driver import run_shuffle
+
+__all__ = ["ShufflePlan", "ShuffleResult", "chunk_bytes", "run_shuffle"]

@@ -1,0 +1,121 @@
+"""Shared shuffle-plan geometry and result aggregation.
+
+A shuffle is ``rounds`` all-to-all exchanges over ``n_ranks`` ranks: in
+each round every rank sends one device chunk to every other rank (the
+repartition step of a distributed dataframe join/sort).  Chunk sizes vary
+deterministically per (round, src, dst) — real partitions are skewed, and
+the variation exercises several pool size classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config import KB
+
+#: Tag space: one tag per (round, source) pair, well under AMPI's
+#: MAX_USER_TAG (1 << 24) at any realistic rank count/round count.
+_TAG_ROUND_STRIDE = 1 << 16
+
+
+@dataclass(frozen=True)
+class ShufflePlan:
+    """Geometry of one shuffle run."""
+
+    n_ranks: int
+    rounds: int = 3
+    #: nominal partition size; actual chunks vary in [chunk//2, chunk]
+    chunk: int = 64 * KB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ValueError("shuffle needs at least 2 ranks")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.chunk < 512:
+            raise ValueError("chunk must be >= 512 bytes")
+
+    @property
+    def pairs(self) -> int:
+        """Directed communicator pairs the shuffle drives."""
+        return self.n_ranks * (self.n_ranks - 1)
+
+    def total_bytes(self) -> int:
+        return sum(
+            chunk_bytes(self, r, s, d)
+            for r in range(self.rounds)
+            for s in range(self.n_ranks)
+            for d in range(self.n_ranks)
+            if s != d
+        )
+
+
+def chunk_bytes(plan: ShufflePlan, rnd: int, src: int, dst: int) -> int:
+    """Deterministic skewed partition size for one (round, src, dst) cell.
+
+    A splitmix64-style hash of the coordinates drives the size within
+    [chunk//2, chunk], rounded to 256 bytes — no RNG state, so every model
+    and every run agrees."""
+    x = (plan.seed * 0x9E3779B97F4A7C15
+         + rnd * 0xBF58476D1CE4E5B9
+         + src * 0x94D049BB133111EB
+         + dst * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 27
+    half = plan.chunk // 2
+    size = half + (x % (half + 1))
+    return max(512, (size // 256) * 256)
+
+
+def shuffle_tag(rnd: int, src: int) -> int:
+    """MPI tag of the chunk ``src`` sends in round ``rnd`` (the receiver
+    posts per-source tags, so matching is exact)."""
+    return rnd * _TAG_ROUND_STRIDE + src
+
+
+@dataclass
+class ShuffleResult:
+    """What one shuffle run measured."""
+
+    plan: ShufflePlan
+    model: str
+    total_time: float = 0.0
+    round_times: List[float] = field(default_factory=list)
+    bytes_moved: int = 0
+    chunks_moved: int = 0
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Aggregate shuffle throughput (bytes/s of simulated time)."""
+        return self.bytes_moved / self.total_time if self.total_time else 0.0
+
+
+class ShuffleCollector:
+    """Accumulates per-rank reports into one :class:`ShuffleResult`."""
+
+    def __init__(self, plan: ShufflePlan, model: str) -> None:
+        self.result = ShuffleResult(plan=plan, model=model)
+        self._round_done: Dict[int, float] = {}
+        self._reports = 0
+
+    def report_round(self, rnd: int, end_time: float) -> None:
+        # the round ends when its last rank finishes
+        prev = self._round_done.get(rnd, 0.0)
+        self._round_done[rnd] = max(prev, end_time)
+
+    def report_rank(self, bytes_moved: int, chunks: int) -> None:
+        self.result.bytes_moved += bytes_moved
+        self.result.chunks_moved += chunks
+        self._reports += 1
+
+    def finalize(self, total_time: float) -> ShuffleResult:
+        self.result.total_time = total_time
+        start = 0.0
+        for rnd in sorted(self._round_done):
+            end = self._round_done[rnd]
+            self.result.round_times.append(end - start)
+            start = end
+        return self.result

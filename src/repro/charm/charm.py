@@ -83,6 +83,7 @@ class Charm:
         self.converse.register_handler("charm_entry_ready", self._handle_entry_ready)
         self.layer.register_device_recv_handler(DeviceRecvType.CHARM, self._on_device_recv)
         self.layer.set_error_handler(self._route_comm_error)
+        self.machine.add_error_notifier(self._notify_resource_error)
         self._comm_error_cbs: List[Callable[[str, int, Any], None]] = []
 
         self.chares: Dict[int, Chare] = {}
@@ -124,6 +125,16 @@ class Charm:
         cancellation).  Without any registered callback a failure aborts the
         run — the moral of ``CkAbort`` on an unrecoverable comm error."""
         self._comm_error_cbs.append(cb)
+
+    def _notify_resource_error(self, kind: str, tag: int, exc) -> None:
+        """Machine-level resource fault (OutOfMemory at the allocator or
+        pool layer).  Unlike transfer errors this is notification-only: the
+        exception already propagates to the allocating call site, so an
+        empty callback list is not fatal."""
+        from repro.ucx.status import UcsStatus
+
+        for cb in self._comm_error_cbs:
+            cb(kind, tag, UcsStatus.ERR_NO_MEMORY)
 
     def _route_comm_error(self, kind: str, tag: int, status) -> None:
         if not self._comm_error_cbs:

@@ -96,6 +96,59 @@ class CudaConfig:
 
 
 @dataclass(frozen=True)
+class MemoryConfig:
+    """Device-allocation strategy (``repro.hardware.memory``).
+
+    The default ``direct`` allocator hands every request straight to the
+    GPU's bump allocator, and every free is a real free (invalidating the
+    address-keyed caches).  The ``pool`` allocator carves size-class blocks
+    out of large slabs (RMM-style): frees return blocks to per-class LIFO
+    free lists without touching the caches, so a reused block keeps its
+    address — and therefore its NIC registration, IPC handle, and peer
+    mappings.  Only trimming (releasing a fully-free slab back to the
+    device) is a real free.
+    """
+
+    #: "direct" (seed behaviour) or "pool" (RMM-style slab pooling).
+    allocator: str = "direct"
+    #: Slab granularity: pool growth allocates this much backing memory at a
+    #: time (requests larger than a slab get a dedicated slab of their size).
+    pool_slab_bytes: int = 64 * MB
+    #: Size-class floor: block sizes are rounded up to the next power of two
+    #: at or above this, bounding internal fragmentation and making reuse
+    #: deterministic (same class -> same LIFO free list).
+    pool_bin_quantum: int = 256
+    #: Cap on total slab bytes per GPU (``None``: the GPU's capacity).
+    pool_max_bytes: Optional[int] = None
+    #: Release fully-free slabs back to the device automatically on block
+    #: return (keeps at most ``pool_retain_slabs`` empty).  Off by default:
+    #: pools exist to retain memory; explicit ``trim()`` is the escape hatch.
+    pool_auto_trim: bool = False
+    #: Empty slabs retained by a trim (auto or explicit).
+    pool_retain_slabs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.allocator not in ("direct", "pool"):
+            raise ValueError(
+                f"allocator must be 'direct' or 'pool', got {self.allocator!r}"
+            )
+        if self.pool_slab_bytes < 1:
+            raise ValueError("pool_slab_bytes must be positive")
+        if self.pool_bin_quantum < 1 or (
+            self.pool_bin_quantum & (self.pool_bin_quantum - 1)
+        ):
+            raise ValueError("pool_bin_quantum must be a power of two")
+        if self.pool_max_bytes is not None and self.pool_max_bytes < 1:
+            raise ValueError("pool_max_bytes must be positive or None")
+        if self.pool_retain_slabs < 0:
+            raise ValueError("pool_retain_slabs must be >= 0")
+
+    @property
+    def pooled(self) -> bool:
+        return self.allocator == "pool"
+
+
+@dataclass(frozen=True)
 class UcxConfig:
     """UCX protocol selection and per-operation costs."""
 
@@ -139,6 +192,29 @@ class UcxConfig:
     # Inter-node host rendezvous registers (pins) the source pages with the
     # NIC before the RDMA get; amortised cost per message.
     host_rndv_reg_overhead: float = 14.0e-6
+
+    # -- connection / registration lifecycle (default off: zero-cost, so
+    # -- pre-existing fingerprints are bit-identical) ------------------------
+    # First-touch peer mapping of a device buffer: registering one buffer
+    # with one peer's transport (IPC mapping + IB registration of the BAR
+    # window) costs hundreds of milliseconds in production GPU deployments
+    # (dask-cuda's motivation for RMM pooling).  Charged once per
+    # (buffer base allocation, worker pair); 0.0 disables the model.
+    mapping_cost: float = 0.0
+    # Lazy endpoint establishment: the first message through an endpoint
+    # pays the connection setup (wireup, transport selection).  0.0 keeps
+    # endpoints free, as the seed modelled them.
+    ep_setup_cost: float = 0.0
+    # Per-worker endpoint cap: beyond it the least-recently-used endpoint is
+    # closed (dropping its peer mappings) before a new one opens.  ``None``
+    # keeps every endpoint forever.
+    max_endpoints: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mapping_cost < 0.0 or self.ep_setup_cost < 0.0:
+            raise ValueError("mapping_cost/ep_setup_cost must be >= 0")
+        if self.max_endpoints is not None and self.max_endpoints < 1:
+            raise ValueError("max_endpoints must be >= 1 or None")
 
 
 @dataclass(frozen=True)
@@ -282,6 +358,7 @@ class MachineConfig:
 
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     cuda: CudaConfig = field(default_factory=CudaConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
     ucx: UcxConfig = field(default_factory=UcxConfig)
     tags: TagConfig = field(default_factory=TagConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
@@ -366,6 +443,16 @@ class MachineConfig:
         return replace(
             self, collectives=_validated_replace(self.collectives, overrides)
         )
+
+    def with_memory(self, **overrides) -> "MachineConfig":
+        """Copy with :class:`MemoryConfig` overrides, e.g.
+        ``cfg.with_memory(allocator="pool", pool_slab_bytes=8 * MB)``."""
+        return replace(self, memory=_validated_replace(self.memory, overrides))
+
+    def with_pool(self, enabled: bool = True, **overrides) -> "MachineConfig":
+        """Shorthand for the pool-on/pool-off ablation pair."""
+        kind = "pool" if enabled else "direct"
+        return self.with_memory(allocator=kind, **overrides)
 
 
 def _validated_replace(cfg, overrides: dict):

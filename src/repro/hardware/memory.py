@@ -186,8 +186,196 @@ class DeviceAllocator:
         buf.freed = True
         self.used -= buf.size
         self.live_buffers -= 1
+        self.run_free_hooks(buf)
+
+    def run_free_hooks(self, buf: Buffer) -> None:
+        """Invalidate address-keyed caches for ``buf``.  Public so the pooled
+        allocator can fire them for the *blocks* of a slab it releases: the
+        slab's own free only names the slab buffer, but every carved block
+        address dies with it."""
         for hook in self._free_hooks:
             hook(buf)
+
+
+class _Slab:
+    """One backing allocation a pool carves blocks from."""
+
+    __slots__ = ("buffer", "bump", "blocks", "free_blocks")
+
+    def __init__(self, buffer: Buffer) -> None:
+        self.buffer = buffer
+        self.bump = 0  # carve offset
+        self.blocks: list = []  # every block ever carved (live + pooled)
+        self.free_blocks = 0  # how many of those sit in a free list
+
+
+class _Block:
+    """A size-class block carved out of a slab.
+
+    The ``buffer`` object is created once and handed out again on every
+    reuse: the address — and with it every address-keyed cache entry (NIC
+    registration, IPC handle, peer mapping) — survives return-to-pool.
+    """
+
+    __slots__ = ("buffer", "class_size", "slab", "live")
+
+    def __init__(self, buffer: Buffer, class_size: int, slab: _Slab) -> None:
+        self.buffer = buffer
+        self.class_size = class_size
+        self.slab = slab
+        self.live = True
+
+
+class PooledAllocator:
+    """RMM-style slab pool over a backing :class:`DeviceAllocator`.
+
+    Allocation rounds the request up to a power-of-two size class (at least
+    ``pool_bin_quantum``), then reuses the most-recently-returned block of
+    that class (LIFO — deterministic, and the hottest block has the warmest
+    caches).  A miss carves a new block out of the current slab, growing the
+    pool by whole slabs from the backing allocator as needed.
+
+    ``free`` is a *pool return*: the block's buffer is NOT marked freed and
+    the backing allocator's free hooks do NOT run — keeping registrations,
+    IPC handles, and peer mappings valid is the entire point of pooling.
+    Only :meth:`trim` really frees: it releases fully-free slabs back to the
+    device, firing the hooks for the slab and every block carved from it.
+    """
+
+    def __init__(self, backing: DeviceAllocator, policy,
+                 slab_payload=None, count=None) -> None:
+        self.backing = backing
+        self.policy = policy
+        # slab payload materialisation follows the machine's policy (the
+        # machine passes its _maybe_payload; None means virtual slabs)
+        self._slab_payload = slab_payload
+        self._count = count  # tracer.count-style callable, or None
+        self._slabs: list = []
+        self._free: dict = {}  # class size -> LIFO stack of _Block
+        self._by_address: dict = {}  # block buffer address -> _Block
+        self.slab_bytes_total = 0
+        # statistics (deterministic; the shuffle workload fingerprints them)
+        self.hits = 0
+        self.carves = 0
+        self.grows = 0
+        self.returns = 0
+        self.trims = 0
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def device(self) -> int:
+        return self.backing.device
+
+    @property
+    def live_blocks(self) -> int:
+        return sum(1 for b in self._by_address.values() if b.live)
+
+    def owns(self, buf: Buffer) -> bool:
+        blk = self._by_address.get(buf.address)
+        return blk is not None and blk.buffer is buf
+
+    def _tick(self, name: str) -> None:
+        if self._count is not None:
+            self._count("mem", name)
+
+    # -- size classes --------------------------------------------------------
+    def class_size(self, size: int) -> int:
+        q = self.policy.pool_bin_quantum
+        if size <= q:
+            return q
+        return 1 << (size - 1).bit_length()
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, size: int, data: Optional[np.ndarray] = None) -> Buffer:
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive, got {size}")
+        cls = self.class_size(size)
+        stack = self._free.get(cls)
+        if stack:
+            blk = stack.pop()
+            blk.slab.free_blocks -= 1
+            blk.live = True
+            self.hits += 1
+            self._tick("pool_hit")
+        else:
+            blk = self._carve(cls)
+            self.carves += 1
+            self._tick("pool_carve")
+        if data is not None and blk.buffer.data is not None:
+            n = min(data.nbytes, blk.buffer.size)
+            dst = blk.buffer.data.reshape(-1).view(np.uint8)
+            dst[:n] = data.reshape(-1).view(np.uint8)[:n]
+        return blk.buffer
+
+    def _carve(self, cls: int) -> _Block:
+        slab = self._slabs[-1] if self._slabs else None
+        if slab is None or slab.bump + cls > slab.buffer.size:
+            slab = self._grow(cls)
+        view = slab.buffer.view(slab.bump, cls)
+        slab.bump += cls
+        blk = _Block(view, cls, slab)
+        slab.blocks.append(blk)
+        self._by_address[view.address] = blk
+        return blk
+
+    def _grow(self, cls: int) -> _Slab:
+        size = max(self.policy.pool_slab_bytes, cls)
+        limit = self.policy.pool_max_bytes
+        if limit is not None and self.slab_bytes_total + size > limit:
+            raise OutOfMemory(
+                f"GPU {self.device} pool: slab of {size} bytes would exceed "
+                f"the {limit}-byte pool cap ({self.slab_bytes_total} held)"
+            )
+        payload = self._slab_payload(size) if self._slab_payload else None
+        backing_buf = self.backing.alloc(size, payload)
+        slab = _Slab(backing_buf)
+        self._slabs.append(slab)
+        self.slab_bytes_total += size
+        self.grows += 1
+        self._tick("pool_grow")
+        return slab
+
+    # -- return / trim -------------------------------------------------------
+    def free(self, buf: Buffer) -> None:
+        """Return ``buf`` to its size-class free list (NOT a real free: the
+        buffer stays valid, no invalidation hooks run)."""
+        blk = self._by_address.get(buf.address)
+        if blk is None or blk.buffer is not buf:
+            raise ValueError("buffer does not belong to this pool")
+        if not blk.live:
+            raise RuntimeError("double return of a pooled buffer")
+        blk.live = False
+        blk.slab.free_blocks += 1
+        self._free.setdefault(blk.class_size, []).append(blk)
+        self.returns += 1
+        self._tick("pool_return")
+        if self.policy.pool_auto_trim:
+            self.trim(retain=self.policy.pool_retain_slabs)
+
+    def trim(self, retain: Optional[int] = None) -> int:
+        """Release fully-free slabs back to the device (keeping ``retain``
+        of them, default the policy's ``pool_retain_slabs``).  This is the
+        real free: the backing allocator's hooks run for each released
+        slab *and every block carved from it*, so the address-keyed caches
+        drop entries the device may now recycle.  Returns bytes released."""
+        if retain is None:
+            retain = self.policy.pool_retain_slabs
+        empty = [s for s in self._slabs
+                 if s.blocks and s.free_blocks == len(s.blocks)]
+        released = 0
+        for slab in empty[retain:]:
+            for blk in slab.blocks:
+                self._free[blk.class_size].remove(blk)
+                del self._by_address[blk.buffer.address]
+                blk.buffer.freed = True
+                self.backing.run_free_hooks(blk.buffer)
+            self._slabs.remove(slab)
+            self.slab_bytes_total -= slab.buffer.size
+            released += slab.buffer.size
+            self.backing.free(slab.buffer)
+            self.trims += 1
+            self._tick("pool_trim")
+        return released
 
 
 def host_buffer(node: int, size: int, data: Optional[np.ndarray] = None) -> Buffer:

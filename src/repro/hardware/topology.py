@@ -15,7 +15,14 @@ from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.hardware.links import Link, Route
-from repro.hardware.memory import Buffer, DeviceAllocator, MemoryKind, host_buffer
+from repro.hardware.memory import (
+    Buffer,
+    DeviceAllocator,
+    MemoryKind,
+    OutOfMemory,
+    PooledAllocator,
+    host_buffer,
+)
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 
@@ -103,6 +110,21 @@ class Machine:
             for g in range(topo.total_gpus)
         }
         self._host_free_hooks: List = []
+        self._error_notifiers: List = []
+        # Pooled allocation (MemoryConfig.allocator == "pool"): one slab
+        # pool per GPU in front of the bump allocator.  The direct path is
+        # untouched when pooling is off — byte-identical to the seed.
+        self.pools: Dict[int, PooledAllocator] = {}
+        if cfg.memory.pooled:
+            self.pools = {
+                g: PooledAllocator(
+                    self.allocators[g],
+                    cfg.memory,
+                    slab_payload=lambda size: self._maybe_payload(size, None),
+                    count=self.tracer.count,
+                )
+                for g in range(topo.total_gpus)
+            }
         self._route_cache: Dict[tuple, Route] = {}
         # Fault injection: built only for non-empty plans, so empty-plan
         # runs take the exact code paths (and event schedule) of plain runs.
@@ -145,11 +167,45 @@ class Machine:
         self, gpu: int, size: int, materialize: Optional[bool] = None
     ) -> Buffer:
         """Allocate ``size`` bytes on ``gpu``; payload materialisation follows
-        ``MachineConfig.payload_materialize_limit`` unless overridden."""
-        return self.allocators[gpu].alloc(size, self._maybe_payload(size, materialize))
+        ``MachineConfig.payload_materialize_limit`` unless overridden.
+
+        With pooling enabled the request is served from the GPU's slab pool
+        (the returned buffer may be a size-class block larger than ``size``,
+        with payload presence following the *slab's* materialisation).
+        Exhaustion at either layer raises :class:`OutOfMemory` after
+        notifying the registered error handlers — the runtimes surface it
+        through their comm-error paths like any other transport fault."""
+        pool = self.pools.get(gpu)
+        try:
+            if pool is not None:
+                return pool.alloc(size, self._maybe_payload(size, materialize))
+            return self.allocators[gpu].alloc(
+                size, self._maybe_payload(size, materialize)
+            )
+        except OutOfMemory as exc:
+            self.tracer.count("fault", "oom")
+            for notify in self._error_notifiers:
+                notify("alloc", 0, exc)
+            raise
 
     def free_device(self, buf: Buffer) -> None:
+        if self.pools:
+            pool = self.pools.get(buf.device)
+            if pool is not None and pool.owns(buf):
+                pool.free(buf)
+                return
         self.allocators[buf.device].free(buf)
+
+    def trim_device_pools(self) -> int:
+        """Release fully-free pool slabs on every GPU (real frees: the
+        invalidation hooks run).  Returns total bytes released."""
+        return sum(pool.trim() for pool in self.pools.values())
+
+    def add_error_notifier(self, notify) -> None:
+        """Register ``notify(kind, tag, exc)`` for machine-level resource
+        faults (currently ``kind="alloc"`` on :class:`OutOfMemory`).
+        Notification only — the exception still propagates to the caller."""
+        self._error_notifiers.append(notify)
 
     def add_device_free_hook(self, hook) -> None:
         """Run ``hook(buf)`` whenever any GPU buffer of this machine is freed

@@ -110,6 +110,18 @@ WORKLOADS: Dict[str, Tuple] = {
     # headline crossover, pinned as data.
     "coll_allreduce_ampi_64r_1M_flat": ("coll", "flat"),
     "coll_allreduce_ampi_64r_1M_hier": ("coll", "hier"),
+    # Dask-style GPU dataframe shuffle (all-to-all, O(ranks²) communicator
+    # pairs) with first-touch mapping/endpoint-setup costs enabled: the
+    # pooled-allocator ablation.  ``_pool`` routes chunks through the slab
+    # pool (mappings amortised to the first round); ``_direct`` allocates
+    # fresh buffers every round and pays them again.  The gate asserts the
+    # pooled run stays faster by the amortisation margin.
+    "shuffle_ampi_4n_pool": ("shuffle", "ampi", True, 4),
+    "shuffle_ampi_4n_direct": ("shuffle", "ampi", False, 4),
+    "shuffle_charm4py_4n_pool": ("shuffle", "charm4py", True, 4),
+    "shuffle_charm4py_4n_direct": ("shuffle", "charm4py", False, 4),
+    "shuffle_openmpi_2n_pool": ("shuffle", "openmpi", True, 2),
+    "shuffle_openmpi_2n_direct": ("shuffle", "openmpi", False, 2),
 }
 
 _ITERS = 6
@@ -131,11 +143,44 @@ WALLCLOCK_BUDGETS: Dict[str, float] = {
 WALLCLOCK_BUDGETS.update(
     {name: 60.0 for name in WORKLOADS if name.startswith("coll_")}
 )
+WALLCLOCK_BUDGETS.update(
+    {name: 60.0 for name in WORKLOADS if name.startswith("shuffle_")}
+)
 
 #: Shape of the collective baseline points (see the ``coll_*`` workloads).
 _COLL_RANKS = 64
 _COLL_NODES = 11
 _COLL_NBYTES = 1 << 20
+
+#: Shape of the shuffle ablation points (see the ``shuffle_*`` workloads):
+#: six all-to-all rounds with first-touch charges large enough that the
+#: direct allocator's re-mapping cost dominates — the regime the pooled
+#: allocator exists for (RMM under dask-cuda).
+_SHUFFLE_ROUNDS = 6
+_SHUFFLE_MAPPING_COST = 1e-3
+_SHUFFLE_EP_SETUP_COST = 2e-5
+
+
+def _run_shuffle_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
+    import repro.api as api
+    from repro.apps.shuffle.driver import run_shuffle
+
+    _, model, pooled, nodes = spec
+    cfg = config if config is not None else MachineConfig.summit(nodes=2)
+    cfg = (cfg.with_nodes(nodes).with_virtual_payload().with_flight(True)
+           .with_pool(pooled)
+           .with_ucx(mapping_cost=_SHUFFLE_MAPPING_COST,
+                     ep_setup_cost=_SHUFFLE_EP_SETUP_COST))
+    builder = api.session(cfg).model(model)
+    if model != "charm4py":
+        builder = builder.ranks(cfg.topology.total_gpus)
+    sess = builder.build()
+    result = run_shuffle(model, rounds=_SHUFFLE_ROUNDS, session=sess)
+    fp = sess.baseline_fingerprint()
+    fp["shuffle_time_us"] = result.total_time * 1e6
+    fp["bytes_moved"] = result.bytes_moved
+    fp["chunks_moved"] = result.chunks_moved
+    return fp
 
 
 def _run_coll_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
@@ -198,6 +243,8 @@ def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
         return _run_jacobi_workload(spec, config)
     if spec[0] == "coll":
         return _run_coll_workload(spec, config)
+    if spec[0] == "shuffle":
+        return _run_shuffle_workload(spec, config)
     model, size, placement = spec[:3]
     cfg = (config if config is not None else MachineConfig.summit(nodes=2))
     if len(spec) == 4:

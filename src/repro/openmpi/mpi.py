@@ -96,6 +96,22 @@ class OmpiRank:
     def charm(self):  # API compatibility shim: exposes .cuda
         return self.lib
 
+    # -- device memory ------------------------------------------------------------
+    def alloc_device(self, nbytes: int, materialize=None) -> Buffer:
+        """Allocate on this rank's GPU through the configured allocator;
+        exhaustion raises :class:`MpiCommError` (``ERR_NO_MEMORY``), the
+        same surface as AMPI's."""
+        from repro.hardware.memory import OutOfMemory
+        from repro.ucx.status import UcsStatus
+
+        try:
+            return self.lib.machine.alloc_device(self.gpu, nbytes, materialize)
+        except OutOfMemory as exc:
+            raise MpiCommError(str(exc), UcsStatus.ERR_NO_MEMORY) from exc
+
+    def free_device(self, buf: Buffer) -> None:
+        self.lib.machine.free_device(buf)
+
     # -- point-to-point ------------------------------------------------------------
     def send(self, buf: Buffer, nbytes: int, dst: int, tag: int = 0, *,
              _ctx: int = 1) -> SimEvent:

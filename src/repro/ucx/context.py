@@ -42,7 +42,74 @@ class UcpContext:
         # not be treated as still-pinned (mirrors the device-side
         # GpuPointerCache invalidation)
         machine.add_host_free_hook(lambda buf: self.reg_cache.discard(buf.address))
+        # -- endpoint/registration lifecycle (all default-off) ----------------
+        # First-touch peer mappings: (buffer base address, worker pair).
+        # Mapping a device buffer into a peer's transport (IPC open + IB
+        # registration of the window) is charged once per pair; pooled
+        # buffers share their slab's base, so a whole pool maps per peer
+        # once.  Pool *returns* never run free hooks, so reuse keeps the
+        # mapping warm; only real frees (trim, direct free) invalidate.
+        self.mapping_cost = self.cfg.mapping_cost
+        self.mapping_enabled = self.mapping_cost > 0.0
+        self.map_cache: set = set()
+        self._map_by_base: Dict[int, set] = {}
+        self._map_by_pair: Dict[tuple, set] = {}
+        self.ep_setup_cost = self.cfg.ep_setup_cost
+        self.ep_limit = self.cfg.max_endpoints
+        self.ep_lifecycle_enabled = (
+            self.ep_setup_cost > 0.0 or self.ep_limit is not None
+        )
+        if self.mapping_enabled:
+            machine.add_device_free_hook(self._drop_base_mappings)
+            machine.add_host_free_hook(self._drop_base_mappings)
         self._worker_cls = UcpWorker
+
+    # -- first-touch peer mappings -----------------------------------------------
+    @staticmethod
+    def _base_address(buf) -> int:
+        return buf.address if buf.base is None else buf.base.address
+
+    def mapping_charge(self, buf, worker_a: int, worker_b: int) -> float:
+        """Cost of having ``buf``'s base allocation mapped for the
+        ``worker_a``<->``worker_b`` pair: ``mapping_cost`` on first touch,
+        0 afterwards.  Call only when :attr:`mapping_enabled`."""
+        pair = (worker_a, worker_b) if worker_a <= worker_b else (worker_b, worker_a)
+        base = self._base_address(buf)
+        key = (base, pair)
+        if key in self.map_cache:
+            self.machine.tracer.count("ucx", "mapping_hit")
+            return 0.0
+        self.map_cache.add(key)
+        self._map_by_base.setdefault(base, set()).add(key)
+        self._map_by_pair.setdefault(pair, set()).add(key)
+        self.machine.tracer.count("ucx", "mapping_new")
+        return self.mapping_cost
+
+    def _drop_mapping_keys(self, keys) -> None:
+        for key in keys:
+            self.map_cache.discard(key)
+            base, pair = key
+            for index, idx_key in ((self._map_by_base, base),
+                                   (self._map_by_pair, pair)):
+                bucket = index.get(idx_key)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del index[idx_key]
+
+    def _drop_base_mappings(self, buf) -> None:
+        """Real free of a buffer: its mappings die (free-hook callback)."""
+        keys = self._map_by_base.get(self._base_address(buf))
+        if keys:
+            self._drop_mapping_keys(list(keys))
+
+    def drop_pair_mappings(self, worker_a: int, worker_b: int) -> None:
+        """An endpoint between the pair closed (LRU eviction): the peer
+        mappings established through it are torn down with it."""
+        pair = (worker_a, worker_b) if worker_a <= worker_b else (worker_b, worker_a)
+        keys = self._map_by_pair.get(pair)
+        if keys:
+            self._drop_mapping_keys(list(keys))
 
     def create_worker(self, worker_id: int, node: int, socket: int = 0) -> "UcpWorker":
         """Create (or return) the worker with this id, pinned to ``node``

@@ -21,6 +21,26 @@ class UcpEndpoint:
         self.remote = remote
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Lazy wireup (UcxConfig.ep_setup_cost): creating the endpoint object
+        # is free, as with ucp_ep_create's deferred connection — the first
+        # message through it pays the connection-setup charge and flips this.
+        self.established = False
+        # set when the worker LRU-closes the endpoint (UcxConfig.max_endpoints);
+        # a closed endpoint must not be reused
+        self.closed = False
+
+    def mark_established(self) -> float:
+        """First traffic through the endpoint: returns the one-time
+        connection-setup charge (0.0 when already established or when the
+        lifecycle model is disabled)."""
+        if self.established:
+            return 0.0
+        self.established = True
+        ctx = self.local.ctx
+        if not ctx.ep_lifecycle_enabled:
+            return 0.0
+        ctx.machine.tracer.count("ucx", "ep_connect")
+        return ctx.ep_setup_cost
 
     @property
     def is_loopback(self) -> bool:

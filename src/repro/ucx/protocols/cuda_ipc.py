@@ -9,17 +9,29 @@ module provides the IPC-specific setup cost.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.hardware.memory import Buffer
 
 
-def ipc_setup_cost(ctx, opener_gpu: int, src_buf: Buffer) -> float:
+def ipc_setup_cost(ctx, opener_gpu: int, src_buf: Buffer,
+                   peer_pair: Optional[Tuple[int, int]] = None) -> float:
     """Cost of obtaining a mapped pointer to ``src_buf`` on ``opener_gpu``.
 
     First open of a given (GPU, buffer) pair pays the driver's expensive
     ``cudaIpcOpenMemHandle``; subsequent transfers hit the handle cache.
+    Both the handle cache and the peer-mapping charge key on the *base*
+    allocation, so size-class blocks of one pool slab open/map once.
+
+    ``peer_pair`` names the (sender worker, receiver worker) pair for the
+    first-touch mapping model (``UcxConfig.mapping_cost``): mapping the
+    peer allocation into the opener's address space is charged per
+    (buffer base, pair) on top of the driver open.
     """
     handle = ctx.cuda.ipc_get_handle(src_buf)
     cost = ctx.cuda.ipc_open_cost(opener_gpu, handle)
     cached = cost == ctx.cuda.cfg.ipc_cached_open_cost
     ctx.machine.tracer.count("cuda_ipc", "open_cached" if cached else "open_new")
+    if peer_pair is not None and ctx.mapping_enabled:
+        cost += ctx.mapping_charge(src_buf, peer_pair[0], peer_pair[1])
     return cost

@@ -31,11 +31,21 @@ def start_send(
     tag: int,
     req: UcxRequest,
     wire_seq=None,
+    pre_cost: float = 0.0,
 ) -> None:
-    """Begin an eager send from ``worker`` to ``remote``."""
+    """Begin an eager send from ``worker`` to ``remote``.
+
+    ``pre_cost`` carries one-time endpoint-setup work (0.0 when the
+    lifecycle model is off; adding an exact zero leaves delays bit-equal).
+    """
     ctx = worker.ctx
     copy_in = staging_copy_time(ctx, buf, size)
-    delay = worker._send_post_cost + copy_in
+    if ctx.mapping_enabled and buf.on_device:
+        # device eager stages through the GDRCopy BAR1 window: the window
+        # registration is per (buffer base, peer) and cached like any
+        # other mapping — first touch pays, reuse (pooled blocks) is free
+        pre_cost += ctx.mapping_charge(buf, worker.worker_id, remote.worker_id)
+    delay = worker._send_post_cost + copy_in + pre_cost
     tracer = ctx.machine.tracer
     sp = tracer.span(
         "ucx.eager", "eager_send", size=size, tag=tag, device=buf.on_device

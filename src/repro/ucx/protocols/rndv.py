@@ -28,7 +28,11 @@ from repro.hardware.memory import Buffer
 from repro.obs.tracing import NULL_SPAN
 from repro.ucx.constants import CTRL_MSG_BYTES
 from repro.ucx.protocols.cuda_ipc import ipc_setup_cost
-from repro.ucx.protocols.pipeline import pipeline_chunks, pipeline_extra_time
+from repro.ucx.protocols.pipeline import (
+    pipeline_chunks,
+    pipeline_extra_time,
+    pipeline_mapping_time,
+)
 from repro.ucx.request import UcxRequest
 from repro.ucx.status import UcsStatus
 from repro.ucx.wire import WireKind, WireMessage, next_rndv_id
@@ -45,8 +49,13 @@ def start_send(
     tag: int,
     req: UcxRequest,
     wire_seq=None,
+    pre_cost: float = 0.0,
 ) -> None:
-    """Send the RTS; the request completes when the FIN returns."""
+    """Send the RTS; the request completes when the FIN returns.
+
+    ``pre_cost`` carries one-time endpoint-setup work (0.0 when the
+    lifecycle model is off; adding an exact zero leaves delays bit-equal).
+    """
     rndv_id = next_rndv_id()
     worker.pending_rndv_sends[rndv_id] = req
     worker._rndv_remote[rndv_id] = remote.worker_id
@@ -61,7 +70,7 @@ def start_send(
         src_was_device=buf.on_device,
         wire_seq=wire_seq,
     )
-    delay = worker._rts_post_cost
+    delay = worker._rts_post_cost + pre_cost
     tracer = worker.ctx.machine.tracer
     if tracer.enabled:
         sp = tracer.span("ucx.rndv", "rndv_rts", size=size, tag=tag,
@@ -132,10 +141,29 @@ def start_transfer(
             ipc_fallback = True
             machine.tracer.count("fault", "fallback_pipeline")
             setup += pipeline_extra_time(machine.cfg, msg.size)
+            if ctx.mapping_enabled:
+                setup += pipeline_mapping_time(ctx, src, dst,
+                                               msg.src_worker, worker.worker_id)
         else:
-            setup += ipc_setup_cost(ctx, dst.device, src)
+            setup += ipc_setup_cost(ctx, dst.device, src,
+                                    peer_pair=(msg.src_worker, worker.worker_id))
+            if ctx.mapping_enabled:
+                # the receiver's own buffer is registered back to the peer
+                # for the FIN'd direct copy — same first-touch rule
+                setup += ctx.mapping_charge(dst, msg.src_worker, worker.worker_id)
     elif pipelined:
         setup += pipeline_extra_time(machine.cfg, msg.size)
+        if ctx.mapping_enabled:
+            setup += pipeline_mapping_time(ctx, src, dst,
+                                           msg.src_worker, worker.worker_id)
+    elif inter_node and any_device:
+        # GPUDirect-RDMA lane: the NIC maps both device buffers (GDR window
+        # registration), first touch per (buffer base, peer) pair
+        if ctx.mapping_enabled:
+            if src.on_device:
+                setup += ctx.mapping_charge(src, msg.src_worker, worker.worker_id)
+            if dst.on_device:
+                setup += ctx.mapping_charge(dst, msg.src_worker, worker.worker_id)
     elif inter_node and not any_device:
         # RDMA get of unregistered host pages: pin them with the NIC first
         # (once per buffer -- the registration cache keeps them pinned)

@@ -10,6 +10,8 @@ class UcsStatus(enum.IntEnum):
     INPROGRESS = 1
     ERR_CANCELED = -16
     ERR_MESSAGE_TRUNCATED = -10
+    # allocation failed (device memory or pool cap exhausted)
+    ERR_NO_MEMORY = -4
     # a frame exhausted its retransmit budget (fault injection territory)
     ERR_ENDPOINT_TIMEOUT = -20
 

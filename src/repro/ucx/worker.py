@@ -143,10 +143,34 @@ class UcpWorker:
 
     # -- endpoints ------------------------------------------------------------
     def ep(self, remote_id: int) -> UcpEndpoint:
-        """Get (and cache) the endpoint to ``remote_id``."""
-        if remote_id not in self._endpoints:
-            self._endpoints[remote_id] = UcpEndpoint(self, self.ctx.worker(remote_id))
-        return self._endpoints[remote_id]
+        """Get (and cache) the endpoint to ``remote_id``.
+
+        With a connection limit configured (``UcxConfig.max_endpoints``) the
+        cache is LRU: opening an endpoint past the limit closes the
+        least-recently-used one first — dropping the peer mappings
+        established through it, so reconnecting later pays setup and
+        mapping again (production connection-count pressure)."""
+        ep = self._endpoints.get(remote_id)
+        if ep is not None:
+            if self.ctx.ep_limit is not None:
+                # dict preserves insertion order: re-insert to mark recency
+                del self._endpoints[remote_id]
+                self._endpoints[remote_id] = ep
+            return ep
+        limit = self.ctx.ep_limit
+        if limit is not None and len(self._endpoints) >= limit:
+            self._evict_lru_endpoint()
+        ep = UcpEndpoint(self, self.ctx.worker(remote_id))
+        self._endpoints[remote_id] = ep
+        return ep
+
+    def _evict_lru_endpoint(self) -> None:
+        victim_id = next(iter(self._endpoints))
+        victim = self._endpoints.pop(victim_id)
+        victim.closed = True
+        self.ctx.machine.tracer.count("ucx", "ep_evicted")
+        if self.ctx.mapping_enabled:
+            self.ctx.drop_pair_mappings(self.worker_id, victim_id)
 
     # -- public API -------------------------------------------------------------
     def tag_send_nb(
@@ -196,15 +220,20 @@ class UcpWorker:
             req.cb = _send_done
         else:
             sp = NULL_SPAN
+        # lazy wireup: the endpoint's first message pays connection setup
+        # (0.0 when the lifecycle model is off — adding it then is exact)
+        pre = ep.mark_established() if self.ctx.ep_lifecycle_enabled else 0.0
         # matching order follows the tag_send_nb call order, whatever the
         # protocols' differing pre-send delays do to physical arrival order
         seq = self._tx_seq.get(ep.remote.worker_id, 0)
         self._tx_seq[ep.remote.worker_id] = seq + 1
         with tracer.under(sp):
             if proto is Protocol.EAGER:
-                eager_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+                eager_proto.start_send(self, ep.remote, buf, size, tag, req,
+                                       wire_seq=seq, pre_cost=pre)
             else:
-                rndv_proto.start_send(self, ep.remote, buf, size, tag, req, wire_seq=seq)
+                rndv_proto.start_send(self, ep.remote, buf, size, tag, req,
+                                      wire_seq=seq, pre_cost=pre)
         return req
 
     def tag_recv_nb(
@@ -395,10 +424,12 @@ class UcpWorker:
         seq = self._am_tx_seq.get(remote.worker_id, 0)
         self._am_tx_seq[remote.worker_id] = seq + 1
 
+        # first traffic through the endpoint pays lazy connection setup
+        pre = ep.mark_established() if self.ctx.ep_lifecycle_enabled else 0.0
         if size < cfg.host_rndv_threshold:
             # eager: copy-in, wire, copy-out
             copy = self._host_copy_time(size)
-            delay = self._send_post_cost + copy
+            delay = self._send_post_cost + copy + pre
 
             def _send_eager() -> None:
                 req.complete()
@@ -407,7 +438,7 @@ class UcpWorker:
             self.sim.schedule(delay, _send_eager)
         else:
             # rendezvous: RTS, then a single-copy fetch of the data
-            delay = self._rts_post_cost
+            delay = self._rts_post_cost + pre
 
             def _send_rts() -> None:
                 self._am_wire(

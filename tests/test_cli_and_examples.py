@@ -8,6 +8,7 @@ import pytest
 
 from repro.apps.jacobi3d import driver as jacobi_driver
 from repro.apps.osu import runner as osu_runner
+from repro.apps.shuffle import driver as shuffle_driver
 from repro.bench import figures
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
@@ -44,6 +45,24 @@ class TestJacobiCli:
         jacobi_driver.main(["ampi", "--nodes", "1", "--iters", "2",
                             "--host-staging"])
         assert "ampi-H" in capsys.readouterr().out
+
+
+class TestShuffleCli:
+    def test_runs_and_prints(self, capsys):
+        shuffle_driver.main(["ampi", "--nodes", "1", "--rounds", "2"])
+        out = capsys.readouterr().out
+        assert "shuffle ampi [pool]" in out
+        assert "bandwidth" in out
+
+    def test_ablation_prints_speedup(self, capsys):
+        shuffle_driver.main(
+            ["charm4py", "--nodes", "1", "--rounds", "2", "--ablation"])
+        out = capsys.readouterr().out
+        assert "pool speedup" in out
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            shuffle_driver.main(["mvapich"])
 
 
 class TestFiguresCli:

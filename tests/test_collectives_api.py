@@ -1,19 +1,21 @@
 """The redesigned collective API surface.
 
 Covers the :class:`ReduceOp` enum shared by every reduction surface, the
-deprecated free-function shims (warn once, bit-identical modeled timing),
-the per-communicator sequence-number tag namespacing (the fix for
-overlapping collectives aliasing and for device collectives leaking into
-user tag space), and the session facade's collective knobs/summary.
+removal of the old free-function shim module (a clean ImportError with a
+pointer to the communicator methods), the per-communicator sequence-number
+tag namespacing (the fix for overlapping collectives aliasing and for
+device collectives leaking into user tag space), and the session facade's
+collective knobs/summary.
 """
 
 from __future__ import annotations
+
+import importlib
 
 import numpy as np
 import pytest
 
 import repro.api as api
-from repro.ampi import collectives as shim
 from repro.ampi.mpi import Ampi
 from repro.charm import Charm, Chare, CkCallback
 from repro.charm4py.runtime import Charm4py
@@ -83,39 +85,22 @@ class TestReduceOp:
         assert c4p.reductions is c4p.charm.reductions
 
 
-class TestDeprecatedShims:
-    def _value_program_method(self, rank):
-        total = yield from rank.allreduce(rank.rank, op="sum")
-        assert total == 6
+class TestShimModuleRemoved:
+    def test_import_raises_with_pointer_to_methods(self):
+        # the two-PR deprecation window closed: the module body is gone,
+        # and any straggler import gets told where the API went
+        with pytest.raises(ImportError,
+                           match=r"removed.*rank\.allreduce.*repro\.collectives"):
+            importlib.import_module("repro.ampi.collectives")
 
-    def _value_program_shim(self, rank):
-        total = yield from shim.allreduce(rank, rank.rank, "sum")
-        assert total == 6
-
-    def test_value_shim_warns_once_with_identical_timing(self):
-        t_method = _time(self._value_program_method)
-        shim._warned.clear()
-        with pytest.warns(DeprecationWarning, match="allreduce.*deprecated"):
-            t_shim = _time(self._value_program_shim)
-        assert t_shim == t_method
-        # warn-once: a second use emits nothing (DeprecationWarning is an
-        # error under this repo's pytest config, so this run would fail loud)
-        assert _time(self._value_program_shim) == t_method
-
-    def test_device_shim_timing_identical(self):
-        def method_program(rank):
+    def test_method_api_covers_the_old_surface(self):
+        def program(rank):
+            total = yield from rank.allreduce(rank.rank, op="sum")
+            assert total == 6
             buf = rank.charm.cuda.malloc(rank.gpu, 4096)
             yield from rank.allreduce_device(buf, 4096, op="sum")
 
-        def shim_program(rank):
-            buf = rank.charm.cuda.malloc(rank.gpu, 4096)
-            yield from shim.allreduce_device(rank, buf, 4096, "sum")
-
-        t_method = _time(method_program)
-        shim._warned.clear()
-        with pytest.warns(DeprecationWarning):
-            t_shim = _time(shim_program)
-        assert t_shim == t_method
+        _time(program)
 
     def test_old_positional_signatures_still_work(self):
         def program(rank):

@@ -518,3 +518,80 @@ class TestSurfacing:
         main(["charm", "--nodes", "1", "--iters", "1", "--fault-plan", plan])
         out = capsys.readouterr().out
         assert "# fault counters" in out
+
+
+class TestPoolExhaustion:
+    """Pool-layer OutOfMemory is a resource fault: it must surface through
+    the same error paths as communication faults — an ``MpiCommError``
+    with ``UCS_ERR_NO_MEMORY`` at the allocation site, and the Charm
+    runtime's ``on_comm_error`` notification."""
+
+    def _capped_cfg(self):
+        return (MachineConfig.summit(nodes=1)
+                .with_pool(True, pool_slab_bytes=1 << 20,
+                           pool_max_bytes=1 << 20))
+
+    @pytest.mark.parametrize("model", ["ampi", "openmpi"])
+    def test_pool_oom_is_mpi_comm_error_with_no_memory_status(self, model):
+        from repro.ampi.mpi import MpiCommError
+
+        sess = api.session(self._capped_cfg()).model(model).ranks(2).build()
+        notified = []
+        if sess.charm is not None:  # the Charm-side notification channel
+            sess.charm.on_comm_error(
+                lambda kind, tag, status: notified.append((kind, tag, status)))
+        caught = {}
+
+        def program(rank):
+            if rank.rank == 0:
+                rank.alloc_device(512 * KB)  # first slab
+                try:
+                    rank.alloc_device(1 << 20)  # second slab > pool cap
+                except MpiCommError as exc:
+                    caught["status"] = exc.status
+                    caught["message"] = str(exc)
+            yield from rank.barrier()
+
+        sess.run_until(sess.launch(program), max_events=1_000_000)
+        assert caught["status"] == UcsStatus.ERR_NO_MEMORY
+        assert "pool" in caught["message"]
+        if sess.charm is not None:
+            assert ("alloc", 0, UcsStatus.ERR_NO_MEMORY) in notified
+        assert sess.counters["fault.oom"] == 1
+
+    def test_pool_return_avoids_the_oom(self):
+        from repro.ampi.mpi import MpiCommError
+
+        sess = api.session(self._capped_cfg()).model("ampi").ranks(2).build()
+
+        def program(rank):
+            if rank.rank == 0:
+                for _ in range(8):  # 8 MB of traffic through a 1 MB cap
+                    buf = rank.alloc_device(1 << 20)
+                    rank.free_device(buf)
+            yield from rank.barrier()
+
+        sess.run_until(sess.launch(program), max_events=1_000_000)
+        assert sess.counters["mem.pool_hit"] == 7
+        assert "fault.oom" not in sess.counters
+
+    def test_backing_device_oom_surfaces_identically(self):
+        # exhaustion of the GPU itself (not the pool cap) takes the same
+        # path: V100s model 16 GB, so two 9 GB direct allocations overflow
+        from repro.ampi.mpi import MpiCommError
+
+        sess = (api.session(MachineConfig.summit(nodes=1))
+                .model("ampi").ranks(2).build())
+        caught = {}
+
+        def program(rank):
+            if rank.rank == 0:
+                rank.alloc_device(9 << 30)
+                try:
+                    rank.alloc_device(9 << 30)
+                except MpiCommError as exc:
+                    caught["status"] = exc.status
+            yield from rank.barrier()
+
+        sess.run_until(sess.launch(program), max_events=1_000_000)
+        assert caught["status"] == UcsStatus.ERR_NO_MEMORY

@@ -116,3 +116,158 @@ class TestDeviceAllocator:
         alloc = DeviceAllocator(100, device=2, node=1)
         buf = alloc.alloc(10)
         assert buf.on_device and buf.device == 2 and buf.node == 1
+
+
+class TestPooledAllocator:
+    def _pool(self, capacity=64 * 1024 * 1024, **overrides):
+        from repro.config import MemoryConfig
+        from repro.hardware.memory import PooledAllocator
+
+        overrides.setdefault("pool_slab_bytes", 1 << 20)
+        backing = DeviceAllocator(capacity, device=0, node=0)
+        policy = MemoryConfig(allocator="pool", **overrides)
+        return backing, PooledAllocator(backing, policy)
+
+    def test_size_classes_power_of_two_with_quantum_floor(self):
+        _, pool = self._pool(pool_bin_quantum=256)
+        assert pool.class_size(1) == 256
+        assert pool.class_size(256) == 256
+        assert pool.class_size(257) == 512
+        assert pool.class_size(512) == 512
+        assert pool.class_size(513) == 1024
+        assert pool.class_size(100_000) == 131072
+
+    def test_lifo_reuse_returns_most_recent_block_first(self):
+        _, pool = self._pool()
+        a, b, c = (pool.alloc(4096) for _ in range(3))
+        assert len({a.address, b.address, c.address}) == 3
+        pool.free(a)
+        pool.free(b)
+        pool.free(c)
+        # LIFO: the most recently returned block comes back first, and the
+        # SAME Buffer objects return (stable addresses = warm caches)
+        assert pool.alloc(4096) is c
+        assert pool.alloc(4096) is b
+        assert pool.alloc(4096) is a
+        assert pool.hits == 3 and pool.carves == 3
+
+    def test_reuse_order_is_deterministic_across_pools(self):
+        # two pools driven by the same alloc/free script hand out blocks
+        # in the same structural order — the property the bit-identical
+        # shuffle fingerprints rest on
+        def script(pool):
+            trail = []
+            live = []
+            for i in range(40):
+                if i % 3 == 2 and live:
+                    pool.free(live.pop(i % len(live)))
+                    trail.append("return")
+                else:
+                    buf = pool.alloc(1024 * (1 + i % 4))
+                    live.append(buf)
+                    trail.append(buf.address - pool._slabs[0].buffer.address)
+            return trail, pool.hits, pool.carves, pool.grows
+
+        _, pa = self._pool()
+        _, pb = self._pool()
+        ra, rb = script(pa), script(pb)
+        # addresses are process-global and differ; compare slab-relative
+        # offsets and the hit/carve/grow trace, which must match exactly
+        assert ra[1:] == rb[1:]
+
+    def test_distinct_classes_do_not_share_free_lists(self):
+        _, pool = self._pool()
+        small = pool.alloc(512)
+        pool.free(small)
+        big = pool.alloc(8192)
+        assert big is not small
+        assert pool.alloc(512) is small
+
+    def test_grow_by_whole_slabs_and_oversized_requests(self):
+        backing, pool = self._pool()
+        pool.alloc(100)
+        assert pool.grows == 1
+        assert backing.used == 1 << 20  # whole slab, not one block
+        # a request larger than the slab gets a slab of its own size
+        huge = pool.alloc((1 << 20) + 1)
+        assert pool.grows == 2
+        assert huge.size == 2 << 20
+        assert backing.used == (1 << 20) + (2 << 20)
+
+    def test_pool_cap_surfaces_out_of_memory(self):
+        _, pool = self._pool(pool_max_bytes=2 << 20)
+        pool.alloc(1 << 19)  # slab 1
+        pool.alloc(1 << 20)  # fills slab 1? no: carve fits -> still slab 1
+        with pytest.raises(OutOfMemory, match="pool"):
+            # forcing a third slab beyond the 2 MB cap
+            pool.alloc(1 << 20)
+            pool.alloc(1 << 20)
+            pool.alloc(1 << 20)
+
+    def test_return_is_not_a_free(self):
+        backing, pool = self._pool()
+        hook_calls = []
+        backing.add_free_hook(hook_calls.append)
+        buf = pool.alloc(4096)
+        pool.free(buf)
+        assert not buf.freed and not hook_calls
+        assert backing.used == 1 << 20  # slab still held
+
+    def test_double_return_rejected(self):
+        _, pool = self._pool()
+        buf = pool.alloc(64)
+        pool.free(buf)
+        with pytest.raises(RuntimeError, match="double return"):
+            pool.free(buf)
+
+    def test_foreign_buffer_rejected(self):
+        backing, pool = self._pool()
+        foreign = backing.alloc(64)
+        with pytest.raises(ValueError, match="belong"):
+            pool.free(foreign)
+
+    def test_trim_frees_slabs_and_fires_hooks_per_block(self):
+        backing, pool = self._pool()
+        hook_calls = []
+        backing.add_free_hook(hook_calls.append)
+        a = pool.alloc(4096)
+        b = pool.alloc(4096)
+        pool.free(a)
+        pool.free(b)
+        released = pool.trim(retain=0)
+        assert released == 1 << 20
+        assert backing.used == 0
+        # hooks ran for both carved blocks AND the slab buffer itself
+        assert a in hook_calls and b in hook_calls
+        assert a.freed and b.freed
+        assert len(hook_calls) == 3
+
+    def test_trim_retains_requested_slabs_and_skips_live_ones(self):
+        backing, pool = self._pool()
+        live = pool.alloc(1 << 19)       # slab 1 stays busy
+        filler = pool.alloc(1 << 19)     # fills slab 1 exactly
+        spare = pool.alloc(4096)         # forces slab 2
+        pool.free(spare)
+        assert pool.trim(retain=1) == 0  # the only empty slab is retained
+        assert pool.trim(retain=0) == 1 << 20  # now it goes
+        assert not live.freed and not filler.freed
+        assert backing.used == 1 << 20
+
+    def test_auto_trim_policy_frees_on_return(self):
+        backing, pool = self._pool(pool_auto_trim=True, pool_retain_slabs=0)
+        buf = pool.alloc(4096)
+        pool.free(buf)
+        assert buf.freed and backing.used == 0
+
+    def test_alloc_copies_data_into_pooled_payload(self):
+        from repro.config import MemoryConfig
+        from repro.hardware.memory import PooledAllocator
+
+        backing = DeviceAllocator(1 << 22, device=0, node=0)
+        policy = MemoryConfig(allocator="pool", pool_slab_bytes=1 << 16)
+        pool = PooledAllocator(
+            backing, policy,
+            slab_payload=lambda size: np.zeros(size, dtype=np.uint8))
+        buf = pool.alloc(16, data=np.arange(16, dtype=np.uint8))
+        assert buf.data.reshape(-1).view(np.uint8)[:16].tolist() \
+            == list(range(16))

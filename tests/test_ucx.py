@@ -406,3 +406,106 @@ class TestHostFreeHooks:
         m.free_host(buf)
         with pytest.raises(RuntimeError):
             m.free_host(buf)
+
+
+class TestPoolFreeHooks:
+    """Pool returns are not frees: every address-keyed cache (mapping,
+    IPC handle opens, custom free hooks) must survive a pool return and
+    die only on a real free — a pool trim."""
+
+    def _pooled_pair(self):
+        cfg = (MachineConfig.summit(nodes=1)
+               .with_pool(True, pool_slab_bytes=4 * MB)
+               .with_ucx(mapping_cost=1e-5))
+        return make_pair(config=cfg)
+
+    def _transfer(self, m, wa, wb, src, dst, size, tag):
+        wb.tag_recv_nb(dst, size, tag=tag)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=tag)
+        m.sim.run()
+
+    def test_pool_return_keeps_mapping_and_ipc_caches(self):
+        m, ctx, wa, wb = self._pooled_pair()
+        size = 256 * KB
+        src = m.alloc_device(0, size)
+        dst = m.alloc_device(1, size)
+        self._transfer(m, wa, wb, src, dst, size, tag=1)
+        mappings = len(ctx.map_cache)
+        ipc_opens = len(ctx.cuda._ipc_open_cache)
+        news = m.tracer.counters["ucx.mapping_new"]
+        assert mappings > 0 and ipc_opens > 0 and news > 0
+
+        hook_calls = []
+        m.add_device_free_hook(lambda buf: hook_calls.append(buf))
+        m.free_device(src)
+        m.free_device(dst)
+        # a return is not a free: nothing invalidated, nothing notified
+        assert not hook_calls
+        assert not src.freed and not dst.freed
+        assert len(ctx.map_cache) == mappings
+        assert len(ctx.cuda._ipc_open_cache) == ipc_opens
+
+        # LIFO reuse hands back the very same blocks: the steady state
+        # re-transfers without a single new mapping or driver open
+        src2 = m.alloc_device(0, size)
+        dst2 = m.alloc_device(1, size)
+        assert src2 is src and dst2 is dst
+        self._transfer(m, wa, wb, src2, dst2, size, tag=2)
+        assert m.tracer.counters["ucx.mapping_new"] == news
+        assert m.tracer.counters["ucx.mapping_hit"] > 0
+        assert len(ctx.cuda._ipc_open_cache) == ipc_opens
+
+    def test_trim_is_a_real_free_and_invalidates(self):
+        m, ctx, wa, wb = self._pooled_pair()
+        size = 256 * KB
+        src = m.alloc_device(0, size)
+        dst = m.alloc_device(1, size)
+        self._transfer(m, wa, wb, src, dst, size, tag=1)
+        assert len(ctx.map_cache) > 0
+
+        hook_calls = []
+        m.add_device_free_hook(lambda buf: hook_calls.append(buf))
+        m.free_device(src)
+        m.free_device(dst)
+        released = m.trim_device_pools()
+        assert released > 0
+        # the trim freed the slabs AND notified for every carved block, so
+        # every address-keyed consumer (mapping cache here) dropped out
+        assert src in hook_calls and dst in hook_calls
+        assert src.freed and dst.freed
+        assert len(ctx.map_cache) == 0
+        # fresh allocations after the trim are first touches again
+        news = m.tracer.counters["ucx.mapping_new"]
+        src3 = m.alloc_device(0, size)
+        dst3 = m.alloc_device(1, size)
+        self._transfer(m, wa, wb, src3, dst3, size, tag=3)
+        assert m.tracer.counters["ucx.mapping_new"] > news
+
+    def test_pool_return_keeps_ampi_gpu_pointer_cache(self):
+        from repro.ampi import Ampi
+        from repro.charm import Charm
+
+        cfg = MachineConfig.summit(nodes=1).with_pool(True)
+        ampi = Ampi(Charm(cfg), n_ranks=2)
+        m = ampi.machine
+        out = {}
+
+        def program(rank):
+            buf = rank.alloc_device(64 * KB)
+            rank.ampi.gpu_caches[rank.pe].check(buf)
+            rank.free_device(buf)
+            again = rank.alloc_device(64 * KB)
+            is_dev, _cost = rank.ampi.gpu_caches[rank.pe].check(again)
+            if rank.rank == 0:
+                out["reused"] = again is buf
+                out["hits"] = rank.ampi.gpu_caches[rank.pe].hits
+                out["invalidations"] = \
+                    rank.ampi.gpu_caches[rank.pe].invalidations
+            yield from rank.barrier()
+
+        m.sim.run_until_complete(ampi.launch(program), max_events=1_000_000)
+        # the return/reuse cycle stays warm: the second check is a hit
+        # because the pool return never fired the invalidation hook
+        assert out["reused"] is True
+        assert out["hits"] == 1
+        assert out["invalidations"] == 0
