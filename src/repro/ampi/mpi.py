@@ -158,6 +158,12 @@ class AmpiRank(_CollectiveApi):
         self.rank = rank
         self.pe = pe
         self.matching = MatchEngine(indexed=ampi.rt.indexed_matching)
+        telemetry = ampi.machine.tracer.timeline
+        if telemetry.enabled:
+            self.matching.posted.depth_probe = telemetry.queue_probe(
+                "matchq.ampi.posted")
+            self.matching.unexpected.depth_probe = telemetry.queue_probe(
+                "matchq.ampi.unexpected")
         self._seq_to: Dict[int, int] = {}
         self._cpu_free = 0.0  # serialises per-call CPU costs of nb ops
 

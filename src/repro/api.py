@@ -33,7 +33,9 @@ from typing import Dict, Optional, Union
 
 from repro.config import MachineConfig
 from repro.obs import chrome_trace, export_chrome_trace, metrics_snapshot
+from repro.obs.congestion import CongestionReport, congestion_report
 from repro.obs.critical_path import CriticalPathReport, critical_path
+from repro.obs.timeline import timeline_dict
 
 __all__ = ["MODELS", "Session", "SessionBuilder", "session", "build"]
 
@@ -114,6 +116,27 @@ class Session:
         (requires tracing; see :mod:`repro.obs.critical_path`)."""
         return critical_path(self.machine.tracer, t0, t1)
 
+    def timeline(self) -> Dict:
+        """JSON-ready dict of every telemetry series — per-series unit,
+        exact count/min/mean/max stats and the retained (decimated)
+        points.  Needs ``.telemetry()``; ``series`` is empty without it."""
+        return timeline_dict(self.machine.tracer.timeline)
+
+    def export_timeline(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`timeline` as JSON to ``path`` (the format
+        ``python -m repro.bench.timeline summary`` reads)."""
+        import json
+
+        path = Path(path)
+        path.write_text(json.dumps(self.timeline()))
+        return path
+
+    def congestion_report(self, top_n: int = 5) -> CongestionReport:
+        """Congestion attribution over the whole run: top contended links
+        with who waited on them, saturation windows, endpoint-thrash
+        verdict (requires ``.telemetry()``)."""
+        return congestion_report(self.machine.tracer, top_n=top_n)
+
     def collectives_summary(self) -> Dict:
         """What the device collectives did: per-collective/algorithm
         invocation counts (always available) and cumulative intra- vs
@@ -159,6 +182,8 @@ class SessionBuilder:
         self._nodes: Optional[int] = None
         self._trace: Optional[bool] = None
         self._flight: Optional[bool] = None
+        self._telemetry: Optional[bool] = None
+        self._telemetry_capacity: Optional[int] = None
         self._gdrcopy: Optional[bool] = None
         self._n_ranks: Optional[int] = None
         self._ranks_per_pe: int = 1
@@ -184,6 +209,17 @@ class SessionBuilder:
     def flight(self, enabled: bool = True) -> "SessionBuilder":
         """Enable message-lifecycle flight recording (observation-only)."""
         self._flight = enabled
+        return self
+
+    def telemetry(self, enabled: bool = True,
+                  capacity: Optional[int] = None) -> "SessionBuilder":
+        """Enable resource-telemetry timelines (observation-only):
+        link/queue/pool/endpoint occupancy series behind
+        :meth:`Session.timeline` and :meth:`Session.congestion_report`.
+        ``capacity`` overrides the per-series ring-buffer size."""
+        self._telemetry = enabled
+        if capacity is not None:
+            self._telemetry_capacity = capacity
         return self
 
     def gdrcopy(self, enabled: bool) -> "SessionBuilder":
@@ -246,6 +282,12 @@ class SessionBuilder:
             cfg = cfg.with_trace(self._trace)
         if self._flight is not None:
             cfg = cfg.with_flight(self._flight)
+        if self._telemetry is not None or self._telemetry_capacity is not None:
+            cfg = cfg.with_telemetry(
+                self._telemetry if self._telemetry is not None
+                else cfg.telemetry,
+                capacity=self._telemetry_capacity,
+            )
         if self._faults is not None:
             cfg = cfg.with_faults(self._faults)
         if self._collectives:
@@ -283,9 +325,9 @@ def build(
     """One-shot convenience: ``api.build(cfg, "openmpi", n_ranks=2)``.
 
     Keyword arguments map to the builder methods: ``nodes``, ``trace``,
-    ``flight``, ``gdrcopy``, ``faults``, ``collectives`` (a dict of
-    ``CollectivesConfig`` overrides), ``n_ranks``, ``ranks_per_pe``,
-    ``n_pes``.
+    ``flight``, ``telemetry``, ``gdrcopy``, ``faults``, ``collectives``
+    (a dict of ``CollectivesConfig`` overrides), ``n_ranks``,
+    ``ranks_per_pe``, ``n_pes``.
     """
     b = session(config).model(model)
     if "nodes" in kwargs:
@@ -298,6 +340,8 @@ def build(
         b.trace(kwargs.pop("trace"))
     if "flight" in kwargs:
         b.flight(kwargs.pop("flight"))
+    if "telemetry" in kwargs:
+        b.telemetry(kwargs.pop("telemetry"))
     if "gdrcopy" in kwargs:
         b.gdrcopy(kwargs.pop("gdrcopy"))
     if "faults" in kwargs:

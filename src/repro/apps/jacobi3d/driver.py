@@ -161,6 +161,13 @@ def main(argv=None) -> None:
                         help="deterministic fault plan: inline JSON (starts "
                              "with '{') or a JSON file path; see "
                              "repro.faults.FaultPlan")
+    parser.add_argument("--timeline-out", metavar="PATH", default=None,
+                        help="write the resource-telemetry timeline JSON "
+                             "(inspect with python -m repro.bench.timeline "
+                             "summary)")
+    parser.add_argument("--congestion", action="store_true",
+                        help="print the congestion-attribution report "
+                             "(top contended links, endpoint thrash)")
     args = parser.parse_args(argv)
 
     if args.sweep:
@@ -189,11 +196,15 @@ def main(argv=None) -> None:
         cfg = cfg.with_faults(fault_plan)
 
     sess = None
-    if args.trace_out or args.flight_out or args.blame or fault_plan is not None:
+    want_telemetry = args.timeline_out or args.congestion
+    if (args.trace_out or args.flight_out or args.blame
+            or fault_plan is not None or want_telemetry):
         import repro.api as api
 
         if args.trace_out or args.flight_out or args.blame:
             cfg = cfg.with_trace(True).with_flight(True)
+        if want_telemetry:
+            cfg = cfg.with_telemetry(True)
         sess = api.session(cfg).model(args.model).build()
     result = run_jacobi(
         args.model, nodes=args.nodes, scaling=args.scaling,
@@ -227,6 +238,11 @@ def main(argv=None) -> None:
             print(f"# {proto}: n={p['n']}, delayed-posting "
                   f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
                   f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
+    if args.timeline_out:
+        path = sess.export_timeline(args.timeline_out)
+        print(f"# telemetry timeline written to {path}")
+    if args.congestion:
+        print(sess.congestion_report().format())
     if fault_plan is not None:
         counters = sess.metrics_snapshot()["counters"]
         faults = {k: v for k, v in sorted(counters.items())

@@ -143,6 +143,14 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="deterministic fault plan: inline JSON (starts "
                              "with '{') or a JSON file path; see "
                              "repro.faults.FaultPlan")
+    parser.add_argument("--timeline-out", metavar="PATH", default=None,
+                        help="write the resource-telemetry timeline JSON of "
+                             "the largest-size run (inspect with python -m "
+                             "repro.bench.timeline summary)")
+    parser.add_argument("--congestion", action="store_true",
+                        help="print the congestion-attribution report of the "
+                             "largest-size run (top contended links, "
+                             "endpoint thrash)")
     args = parser.parse_args(argv)
 
     fault_plan = None
@@ -174,7 +182,9 @@ def main(argv: Optional[List[str]] = None) -> None:
             print(f"{_fmt_size(s):>8}  {v / 1e6:16.2f}")
 
     sess = None
-    if args.trace_out or args.flight_out or args.blame or fault_plan is not None:
+    want_telemetry = args.timeline_out or args.congestion
+    if (args.trace_out or args.flight_out or args.blame
+            or fault_plan is not None or want_telemetry):
         import json
 
         import repro.api as api
@@ -182,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         scfg = cfg
         if args.trace_out or args.flight_out or args.blame:
             scfg = scfg.with_trace(True).with_flight(True)
+        if want_telemetry:
+            scfg = scfg.with_telemetry(True)
         sess = api.session(scfg).model(args.model).build()
         if args.benchmark == "latency":
             run_latency(args.model, sizes[-1], args.placement,
@@ -210,6 +222,12 @@ def main(argv: Optional[List[str]] = None) -> None:
                 print(f"# {proto}: n={p['n']}, delayed-posting "
                       f"{p['delayed_posting_seconds'] * 1e6:.2f} us total "
                       f"(max {p['max_delayed_posting_seconds'] * 1e6:.2f} us)")
+        if args.timeline_out:
+            path = sess.export_timeline(args.timeline_out)
+            print(f"# telemetry timeline ({_fmt_size(sizes[-1])} run) "
+                  f"written to {path}")
+        if args.congestion:
+            print(sess.congestion_report().format())
         if fault_plan is not None:
             counters = sess.metrics_snapshot()["counters"]
             faults = {k: v for k, v in sorted(counters.items())

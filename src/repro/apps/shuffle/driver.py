@@ -126,6 +126,13 @@ def main(argv=None) -> None:
                         help="write a Chrome-trace timeline of the run")
     parser.add_argument("--flight-out", metavar="PATH", default=None,
                         help="write the flight-recorder JSON")
+    parser.add_argument("--timeline-out", metavar="PATH", default=None,
+                        help="write the resource-telemetry timeline JSON "
+                             "(inspect with python -m repro.bench.timeline "
+                             "summary)")
+    parser.add_argument("--congestion", action="store_true",
+                        help="print the congestion-attribution report "
+                             "(top contended links, endpoint thrash)")
     args = parser.parse_args(argv)
 
     common = dict(
@@ -147,13 +154,18 @@ def main(argv=None) -> None:
         return
 
     sess = None
-    if args.trace_out or args.flight_out:
+    want_telemetry = args.timeline_out or args.congestion
+    if args.trace_out or args.flight_out or want_telemetry:
         cfg = MachineConfig.summit(nodes=args.nodes)
         cfg = cfg.with_pool(args.pool).with_ucx(
             mapping_cost=args.mapping_cost,
             ep_setup_cost=args.ep_setup_cost,
             max_endpoints=args.max_endpoints,
-        ).with_trace(True).with_flight(True)
+        )
+        if args.trace_out or args.flight_out:
+            cfg = cfg.with_trace(True).with_flight(True)
+        if want_telemetry:
+            cfg = cfg.with_telemetry(True)
         if args.model == "charm4py":
             sess = api.session(cfg).model("charm4py").build()
         else:
@@ -174,6 +186,11 @@ def main(argv=None) -> None:
         with open(args.flight_out, "w") as f:
             json.dump(doc, f, indent=2)
         print(f"# flight records written to {args.flight_out}")
+    if args.timeline_out:
+        path = sess.export_timeline(args.timeline_out)
+        print(f"# telemetry timeline written to {path}")
+    if args.congestion:
+        print(sess.congestion_report().format())
 
 
 if __name__ == "__main__":

@@ -1,0 +1,77 @@
+"""Telemetry-timeline CLI: quick per-series stats for CI logs.
+
+Usage::
+
+    python -m repro.bench.timeline summary TIMELINE.json [--series GLOB]
+
+``TIMELINE.json`` is what ``--timeline-out`` (repro-osu / repro-jacobi3d /
+repro-shuffle) or :meth:`repro.api.Session.export_timeline` writes.  The
+summary prints one line per series — count / min / mean / max / p99 / last
+— the same shape ``python -m repro.bench.baseline check`` uses for quick
+eyeballing in CI logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+
+
+def format_summary(doc: dict, pattern: str = "*") -> str:
+    series = doc.get("series", {})
+    names = sorted(n for n in series if fnmatch.fnmatch(n, pattern))
+    lines = [
+        f"# timeline summary: {len(names)} of {len(series)} series, "
+        f"{doc.get('now', 0.0) * 1e3:.3f} ms simulated, "
+        f"capacity {doc.get('capacity', '?')} points/series",
+        f"{'series':40s} {'unit':>9s} {'count':>8s} {'min':>12s} "
+        f"{'mean':>12s} {'max':>12s} {'p99':>12s} {'last':>12s}",
+    ]
+    for name in names:
+        entry = series[name]
+        st = entry.get("stats", {})
+        lines.append(
+            f"{name:40s} {entry.get('unit', ''):>9s} "
+            f"{st.get('count', 0):>8d} {st.get('min', 0.0):>12.4g} "
+            f"{st.get('mean', 0.0):>12.4g} {st.get('max', 0.0):>12.4g} "
+            f"{st.get('p99', 0.0):>12.4g} {st.get('last', 0.0):>12.4g}"
+        )
+    if not names:
+        lines.append("  (no series matched)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.timeline",
+        description="inspect telemetry timelines written by --timeline-out",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_sum = sub.add_parser(
+        "summary", help="print min/mean/max/p99 per series")
+    p_sum.add_argument("path", help="timeline JSON written by --timeline-out")
+    p_sum.add_argument("--series", default="*",
+                       help="fnmatch pattern selecting series "
+                            "(default: all; e.g. 'pool.*' or 'link.*nic*')")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or "series" not in doc:
+        print(f"error: {args.path} is not a timeline JSON "
+              f"(missing 'series')", file=sys.stderr)
+        return 2
+    if not doc.get("enabled", False):
+        print("# note: telemetry was disabled for this run", file=sys.stderr)
+    print(format_summary(doc, args.series))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -376,6 +376,13 @@ class MachineConfig:
     # Message-lifecycle flight recording (repro.obs.flight); like `trace`,
     # observation-only — simulated results are identical on or off.
     flight: bool = False
+    # Resource-telemetry timelines (repro.obs.timeline): bounded time-series
+    # sampling of link/queue/pool/endpoint occupancy.  Observation-only,
+    # like `trace` and `flight` — fingerprints are identical on or off.
+    telemetry: bool = False
+    # Ring-buffer capacity per telemetry series (points retained before
+    # halve-resolution decimation kicks in).
+    telemetry_capacity: int = 512
     # Deterministic fault injection (repro.faults).  None or an *empty*
     # plan builds no injector: such runs are bit-identical to each other.
     faults: Optional[FaultPlan] = None
@@ -409,6 +416,17 @@ class MachineConfig:
 
     def with_flight(self, enabled: bool = True) -> "MachineConfig":
         return replace(self, flight=bool(enabled))
+
+    def with_telemetry(self, enabled: bool = True,
+                       capacity: Optional[int] = None) -> "MachineConfig":
+        """Copy with resource-telemetry sampling toggled; ``capacity``
+        optionally overrides the per-series ring-buffer size."""
+        if capacity is not None:
+            if capacity < 1:
+                raise ValueError("telemetry capacity must be >= 1")
+            return replace(self, telemetry=bool(enabled),
+                           telemetry_capacity=int(capacity))
+        return replace(self, telemetry=bool(enabled))
 
     def with_virtual_payload(self, enabled: bool = True) -> "MachineConfig":
         """Copy with virtual-payload mode toggled (see the field docs:

@@ -50,13 +50,18 @@ __all__ = ["LinearMatchQueue", "IndexedMatchQueue", "make_match_queue"]
 class LinearMatchQueue:
     """Reference FIFO queue: linear scan, O(n) per match (seed semantics)."""
 
-    __slots__ = ("_items",)
+    __slots__ = ("_items", "depth_probe")
 
     def __init__(self) -> None:
         self._items: List[Any] = []
+        #: optional telemetry hook: called with +1/-1 on insert/remove
+        #: (see repro.obs.timeline.Telemetry.queue_probe); observation-only
+        self.depth_probe: Optional[Callable[[int], None]] = None
 
     def append(self, item: Any, key: Any = None) -> None:
         self._items.append(item)
+        if self.depth_probe is not None:
+            self.depth_probe(1)
 
     def match(
         self, key: Any, pred: Callable[[Any], bool]
@@ -71,6 +76,8 @@ class LinearMatchQueue:
         for i, item in enumerate(items):
             if pred(item):
                 del items[i]
+                if self.depth_probe is not None:
+                    self.depth_probe(-1)
                 return item, i + 1
         return None, len(items)
 
@@ -87,6 +94,8 @@ class LinearMatchQueue:
         for i, item in enumerate(items):
             if pred(item):
                 del items[i]
+                if self.depth_probe is not None:
+                    self.depth_probe(-1)
                 return item
         return None
 
@@ -162,7 +171,8 @@ class IndexedMatchQueue:
     and are cleaned lazily.
     """
 
-    __slots__ = ("_slots", "_keys", "_buckets", "_wild", "_fen", "_live", "_dead")
+    __slots__ = ("_slots", "_keys", "_buckets", "_wild", "_fen", "_live",
+                 "_dead", "depth_probe")
 
     #: tombstones tolerated before a physical compaction
     _COMPACT_SLACK = 64
@@ -175,6 +185,8 @@ class IndexedMatchQueue:
         self._fen = _Fenwick()
         self._live = 0
         self._dead = 0
+        #: optional telemetry hook: called with +1/-1 on insert/remove
+        self.depth_probe: Optional[Callable[[int], None]] = None
 
     # -- mutation -----------------------------------------------------------
     def append(self, item: Any, key: Any = None) -> None:
@@ -183,6 +195,8 @@ class IndexedMatchQueue:
         self._keys.append(key)
         self._fen.append(1)
         self._live += 1
+        if self.depth_probe is not None:
+            self.depth_probe(1)
         if key is None:
             self._wild.append(slot)
         else:
@@ -198,6 +212,8 @@ class IndexedMatchQueue:
         self._fen.add(slot, -1)
         self._live -= 1
         self._dead += 1
+        if self.depth_probe is not None:
+            self.depth_probe(-1)
         if self._dead > self._live + self._COMPACT_SLACK:
             self._compact()
         return item

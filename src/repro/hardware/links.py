@@ -160,20 +160,38 @@ def path_transfer(
         sim.schedule(hold, done.succeed, None)
         return done
 
+    # telemetry observes acquisition waits and occupancy; it never schedules
+    # and never alters `hold`, so enabling it cannot perturb the simulation
+    telem = sim.telemetry
+    if telem is not None:
+        t_req = sim.now
+        req_cat = telem.ambient_category()
+    blocked_on = None
+
     def _finish() -> None:
+        if telem is not None:
+            # before release(): release hooks run synchronously and the next
+            # waiter may re-acquire inside the loop below
+            telem.link_released(ordered, size)
         for link in ordered:
             link.bytes_carried += size
             link.release()
         done.succeed(None)
 
     def _try_acquire() -> None:
+        nonlocal blocked_on
         for link in ordered:
             if link.in_use >= link.capacity:
+                if telem is not None:
+                    blocked_on = link.name
                 link.on_next_release(_try_acquire)
                 return
         for link in ordered:
             granted = link.acquire()
             assert granted.triggered  # free slot was just checked
+        if telem is not None:
+            telem.link_acquired(ordered, size, sim.now - t_req,
+                                blocked_on, req_cat)
         sim.schedule(hold, _finish)
 
     if not ordered:

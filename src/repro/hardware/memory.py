@@ -260,6 +260,11 @@ class PooledAllocator:
         self.grows = 0
         self.returns = 0
         self.trims = 0
+        # bytes in live (handed-out) blocks, counted at class granularity
+        self.live_bytes = 0
+        #: optional telemetry hook called as probe(live_bytes, slab_bytes,
+        #: slab_count) after every alloc/free/trim (repro.obs.timeline)
+        self.probe = None
 
     # -- introspection -------------------------------------------------------
     @property
@@ -301,6 +306,10 @@ class PooledAllocator:
             blk = self._carve(cls)
             self.carves += 1
             self._tick("pool_carve")
+        self.live_bytes += cls
+        if self.probe is not None:
+            self.probe(self.live_bytes, self.slab_bytes_total,
+                       len(self._slabs))
         if data is not None and blk.buffer.data is not None:
             n = min(data.nbytes, blk.buffer.size)
             dst = blk.buffer.data.reshape(-1).view(np.uint8)
@@ -349,6 +358,10 @@ class PooledAllocator:
         self._free.setdefault(blk.class_size, []).append(blk)
         self.returns += 1
         self._tick("pool_return")
+        self.live_bytes -= blk.class_size
+        if self.probe is not None:
+            self.probe(self.live_bytes, self.slab_bytes_total,
+                       len(self._slabs))
         if self.policy.pool_auto_trim:
             self.trim(retain=self.policy.pool_retain_slabs)
 
@@ -375,6 +388,9 @@ class PooledAllocator:
             self.backing.free(slab.buffer)
             self.trims += 1
             self._tick("pool_trim")
+        if released and self.probe is not None:
+            self.probe(self.live_bytes, self.slab_bytes_total,
+                       len(self._slabs))
         return released
 
 

@@ -102,7 +102,9 @@ class Machine:
     def __init__(self, cfg: MachineConfig) -> None:
         self.cfg = cfg
         self.sim = Simulator()
-        self.tracer = Tracer(self.sim, enabled=cfg.trace, flight=cfg.flight)
+        self.tracer = Tracer(self.sim, enabled=cfg.trace, flight=cfg.flight,
+                             telemetry=cfg.telemetry,
+                             telemetry_capacity=cfg.telemetry_capacity)
         topo = cfg.topology
         self.nodes: List[Node] = [Node(self, n) for n in range(topo.nodes)]
         self.allocators: Dict[int, DeviceAllocator] = {
@@ -125,6 +127,16 @@ class Machine:
                 )
                 for g in range(topo.total_gpus)
             }
+        # Resource telemetry (repro.obs.timeline): links.py and the engine
+        # reach it through the simulator handle, like the fault injector;
+        # disabled runs keep sim.telemetry = None so the off-path cost is
+        # a single None-check per transfer/event.
+        if cfg.telemetry:
+            timeline = self.tracer.timeline
+            self.sim.telemetry = timeline
+            self.sim.set_probe(timeline.engine_probe(self.sim))
+            for g, pool in self.pools.items():
+                pool.probe = timeline.pool_probe(g)
         self._route_cache: Dict[tuple, Route] = {}
         # Fault injection: built only for non-empty plans, so empty-plan
         # runs take the exact code paths (and event schedule) of plain runs.

@@ -24,6 +24,11 @@ from repro.obs.baseline import (
     check_baseline,
     collect_baseline,
 )
+from repro.obs.congestion import (
+    CongestionReport,
+    LinkCongestion,
+    congestion_report,
+)
 from repro.obs.critical_path import (
     CriticalPathReport,
     Segment,
@@ -42,6 +47,11 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.timeline import (
+    Telemetry,
+    TimeSeries,
+    timeline_dict,
+)
 from repro.obs.tracing import (
     NULL_SPAN,
     Span,
@@ -53,6 +63,9 @@ __all__ = [
     "BaselineReport",
     "check_baseline",
     "collect_baseline",
+    "CongestionReport",
+    "LinkCongestion",
+    "congestion_report",
     "CriticalPathReport",
     "Segment",
     "critical_path",
@@ -68,6 +81,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "Span",
+    "Telemetry",
+    "TimeSeries",
+    "timeline_dict",
     "TraceRecord",
     "Tracer",
 ]

@@ -122,6 +122,14 @@ WORKLOADS: Dict[str, Tuple] = {
     "shuffle_charm4py_4n_direct": ("shuffle", "charm4py", False, 4),
     "shuffle_openmpi_2n_pool": ("shuffle", "openmpi", True, 2),
     "shuffle_openmpi_2n_direct": ("shuffle", "openmpi", False, 2),
+    # Endpoint-thrash regime (PR 8 follow-on): the same pooled shuffle with
+    # ``max_endpoints`` far below the peer count (4 slots for 11 peers per
+    # worker), so every round LRU-closes and reconnects endpoints — and
+    # re-pays the peer mappings dropped with them.  The fingerprint pins
+    # the churn counters (``ucx.ep_evicted``/``ucx.ep_connect``) and the
+    # much larger modeled time; the congestion report flags this run as
+    # thrashing (gated in benchmarks/test_telemetry_smoke.py).
+    "shuffle_ampi_2n_thrash": ("shuffle", "ampi", True, 2, "thrash"),
 }
 
 _ITERS = 6
@@ -146,6 +154,12 @@ WALLCLOCK_BUDGETS.update(
 WALLCLOCK_BUDGETS.update(
     {name: 60.0 for name in WORKLOADS if name.startswith("shuffle_")}
 )
+# The thrash regime schedules far more work (reconnects + re-mappings) than
+# the healthy shuffles; the telemetry soak smoke is budgeted here too so CI
+# treats a runaway soak like any other wall-clock regression (the soak test
+# reads its own budget from this table).
+WALLCLOCK_BUDGETS["shuffle_ampi_2n_thrash"] = 60.0
+WALLCLOCK_BUDGETS["soak_telemetry_smoke"] = 120.0
 
 #: Shape of the collective baseline points (see the ``coll_*`` workloads).
 _COLL_RANKS = 64
@@ -159,18 +173,23 @@ _COLL_NBYTES = 1 << 20
 _SHUFFLE_ROUNDS = 6
 _SHUFFLE_MAPPING_COST = 1e-3
 _SHUFFLE_EP_SETUP_COST = 2e-5
+#: endpoint cap of the ``_thrash`` variant: far below the 11 peers each
+#: worker talks to in the 2-node all-to-all, forcing sustained LRU churn
+_THRASH_MAX_ENDPOINTS = 4
 
 
 def _run_shuffle_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
     import repro.api as api
     from repro.apps.shuffle.driver import run_shuffle
 
-    _, model, pooled, nodes = spec
+    _, model, pooled, nodes = spec[:4]
+    thrash = len(spec) > 4 and spec[4] == "thrash"
     cfg = config if config is not None else MachineConfig.summit(nodes=2)
     cfg = (cfg.with_nodes(nodes).with_virtual_payload().with_flight(True)
            .with_pool(pooled)
            .with_ucx(mapping_cost=_SHUFFLE_MAPPING_COST,
-                     ep_setup_cost=_SHUFFLE_EP_SETUP_COST))
+                     ep_setup_cost=_SHUFFLE_EP_SETUP_COST,
+                     max_endpoints=_THRASH_MAX_ENDPOINTS if thrash else None))
     builder = api.session(cfg).model(model)
     if model != "charm4py":
         builder = builder.ranks(cfg.topology.total_gpus)

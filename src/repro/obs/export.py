@@ -91,6 +91,30 @@ def _span_events_by_lane(tracer: Tracer) -> List[List[Dict]]:
     return lane_events
 
 
+def _counter_events(tracer: Tracer) -> List[Dict]:
+    """Telemetry series as Chrome-trace counter (``"ph": "C"``) events —
+    one Perfetto counter track per series, rendered alongside the span
+    lanes.  Empty when telemetry is disabled."""
+    timeline = getattr(tracer, "timeline", None)
+    if timeline is None or not timeline.enabled:
+        return []
+    out: List[Dict] = []
+    for name in sorted(timeline.series):
+        ts = timeline.series[name]
+        for t, v in ts.points():
+            out.append({
+                "name": name,
+                "cat": "telemetry",
+                "ph": "C",
+                "ts": t * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": v},
+            })
+    out.sort(key=lambda e: e["ts"])
+    return out
+
+
 def chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> Dict:
     """Render the tracer's span tree as a Chrome trace-event JSON dict."""
     lane_events = _span_events_by_lane(tracer)
@@ -113,7 +137,9 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> Dict:
                 "args": {"name": f"lane {lane}"},
             }
         )
-    events = meta + list(merge(*lane_events, key=lambda e: e["ts"]))
+    events = meta + list(
+        merge(*lane_events, _counter_events(tracer), key=lambda e: e["ts"])
+    )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -137,8 +163,9 @@ def metrics_snapshot(tracer: Tracer) -> Dict:
 
 
 def validate_chrome_trace(trace: Dict) -> Dict:
-    """Validate a Chrome-trace dict: required keys, monotone ``ts``, and
-    matched ``B``/``E`` pairs per ``(pid, tid)`` track.  Returns summary
+    """Validate a Chrome-trace dict: required keys, monotone ``ts``,
+    matched ``B``/``E`` pairs per ``(pid, tid)`` track, and well-formed
+    counter (``C``) events (numeric ``args`` values).  Returns summary
     stats; raises :class:`ValueError` on any violation.
 
     Deterministic by construction: an empty trace validates (all-zero
@@ -153,8 +180,10 @@ def validate_chrome_trace(trace: Dict) -> Dict:
         raise ValueError("'traceEvents' must be a list")
     stacks: Dict[tuple, List[str]] = {}
     categories = set()
+    counter_series = set()
     last_ts: Optional[float] = None
     n_spans = 0
+    n_counters = 0
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(
@@ -166,7 +195,7 @@ def validate_chrome_trace(trace: Dict) -> Dict:
         ph = ev["ph"]
         if ph == "M":
             continue
-        if ph not in ("B", "E"):
+        if ph not in ("B", "E", "C"):
             raise ValueError(f"event {i}: unsupported phase {ph!r}")
         if "ts" not in ev:
             raise ValueError(f"event {i} missing required key 'ts'")
@@ -180,6 +209,23 @@ def validate_chrome_trace(trace: Dict) -> Dict:
                 f"event {i}: non-monotone ts ({ts} after {last_ts})"
             )
         last_ts = ts
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"event {i}: counter event needs a non-empty 'args' dict"
+                )
+            for key, value in args.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(
+                        f"event {i}: counter value {key!r} must be a "
+                        f"number, got {value!r}"
+                    )
+            counter_series.add(ev["name"])
+            n_counters += 1
+            continue
         track = (ev["pid"], ev["tid"])
         stack = stacks.setdefault(track, [])
         if ph == "B":
@@ -203,4 +249,6 @@ def validate_chrome_trace(trace: Dict) -> Dict:
         "n_spans": n_spans,
         "n_tracks": len(stacks),
         "categories": categories,
+        "n_counter_events": n_counters,
+        "counter_series": counter_series,
     }

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional
 
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import DEFAULT_CAPACITY as TELEMETRY_CAPACITY
+from repro.obs.timeline import Telemetry
 
 __all__ = [
     "NULL_SPAN",
@@ -199,14 +201,20 @@ class Tracer:
     returns :data:`NULL_SPAN`, ``charge``/``emit`` return immediately.
     """
 
-    def __init__(self, sim, enabled: bool = False, flight: bool = False) -> None:
+    def __init__(self, sim, enabled: bool = False, flight: bool = False,
+                 telemetry: bool = False,
+                 telemetry_capacity: int = TELEMETRY_CAPACITY) -> None:
         self.sim = sim
         self.enabled = enabled
         self.metrics = MetricsRegistry()
         self.flight = FlightRecorder(sim, enabled=flight)
+        self.timeline = Telemetry(sim, enabled=telemetry,
+                                  capacity=telemetry_capacity)
         self.records: List[TraceRecord] = []
         self.spans: List[Span] = []
         self._stack: List[Span] = []
+        # link waits are attributed to the ambient span's category
+        self.timeline.ambient_stack = self._stack
         self._next_sid = 0
         # category -> accumulated span time
         self._time_acc: Dict[str, float] = {}
@@ -304,3 +312,4 @@ class Tracer:
         self._time_acc.clear()
         self.metrics.reset()
         self.flight.reset()
+        self.timeline.reset()

@@ -143,6 +143,11 @@ class Simulator:
         self._seq: int = 0
         self._event_count = 0
         self._running = False
+        # observation hooks (repro.obs): fault injector and telemetry attach
+        # themselves here; both are read-only with respect to the agenda
+        self.telemetry = None
+        self._probe: Optional[Callable[[], None]] = None
+        self._probe_mask = 255
         # slot store (parallel arrays + freelist)
         self._fn: List[Optional[Callable[..., Any]]] = []
         self._args: List[Any] = []
@@ -176,6 +181,21 @@ class Simulator:
     def pending_events(self) -> int:
         """Live (non-cancelled) events currently scheduled."""
         return self._agenda - self._tombstones
+
+    @property
+    def calendar_engaged(self) -> bool:
+        """Whether the calendar-queue tier is currently serving the agenda."""
+        return self._engaged
+
+    def set_probe(self, fn: Optional[Callable[[], None]],
+                  every: int = 256) -> None:
+        """Install an observation probe called every ``every`` executed
+        events (power of two).  The probe must only *read* simulator state —
+        it runs after the event's callback and must never schedule."""
+        if fn is not None and (every < 1 or every & (every - 1)):
+            raise ValueError("probe interval must be a power of two")
+        self._probe = fn
+        self._probe_mask = every - 1
 
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Handle:
@@ -364,6 +384,9 @@ class Simulator:
         self._now = t
         self._event_count += 1
         fn(*args)
+        probe = self._probe
+        if probe is not None and not (self._event_count & self._probe_mask):
+            probe()
         return True
 
     def run(
@@ -409,6 +432,11 @@ class Simulator:
                 self._now = t
                 self._event_count += 1
                 fn(*args)
+                probe = self._probe
+                if probe is not None and not (
+                    self._event_count & self._probe_mask
+                ):
+                    probe()
                 executed += 1
                 if max_events is not None and executed > max_events:
                     raise SimulationError(

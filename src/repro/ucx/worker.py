@@ -88,6 +88,12 @@ class UcpWorker:
         indexed = ctx.cfg.indexed_matching
         self.posted = make_match_queue(indexed)
         self.unexpected = make_match_queue(indexed)
+        telemetry = ctx.telemetry
+        if telemetry.enabled:
+            self.posted.depth_probe = telemetry.queue_probe(
+                "matchq.ucx.posted")
+            self.unexpected.depth_probe = telemetry.queue_probe(
+                "matchq.ucx.unexpected")
         self.pending_rndv_sends: Dict[int, UcxRequest] = {}
         self._endpoints: Dict[int, UcpEndpoint] = {}
         # per-directed-pair wire sequencing: matchable messages (EAGER/RTS)
@@ -162,13 +168,22 @@ class UcpWorker:
             self._evict_lru_endpoint()
         ep = UcpEndpoint(self, self.ctx.worker(remote_id))
         self._endpoints[remote_id] = ep
+        self.ctx.ep_total += 1
+        if self.ctx.telemetry.enabled:
+            self.ctx.telemetry.sample("ucx.ep_table", self.ctx.ep_total,
+                                      "endpoints")
         return ep
 
     def _evict_lru_endpoint(self) -> None:
         victim_id = next(iter(self._endpoints))
         victim = self._endpoints.pop(victim_id)
         victim.closed = True
+        self.ctx.ep_total -= 1
         self.ctx.machine.tracer.count("ucx", "ep_evicted")
+        if self.ctx.telemetry.enabled:
+            self.ctx.telemetry.bump("ucx.ep_evictions")
+            self.ctx.telemetry.sample("ucx.ep_table", self.ctx.ep_total,
+                                      "endpoints")
         if self.ctx.mapping_enabled:
             self.ctx.drop_pair_mappings(self.worker_id, victim_id)
 
@@ -546,6 +561,8 @@ class UcpWorker:
     ) -> None:
         tracer = self.ctx.machine.tracer
         tracer.count("fault", "retransmit")
+        if tracer.timeline.enabled:
+            tracer.timeline.bump("fault.retransmits")
         wait = injector.retry_wait(attempt)
         if tracer.enabled:
             tracer.span(
@@ -780,6 +797,8 @@ class UcpWorker:
     ) -> None:
         tracer = self.ctx.machine.tracer
         tracer.count("fault", "retransmit")
+        if tracer.timeline.enabled:
+            tracer.timeline.bump("fault.retransmits")
         flight = tracer.flight
         if flight.enabled and msg.kind in (WireKind.EAGER, WireKind.RTS):
             flight.retransmitted(msg.tag)

@@ -129,6 +129,62 @@ def test_mixed_workload_flight_fingerprint(model, seed):
     assert fp(True) == fp(False)
 
 
+# ---------------------------------------------------------------------------
+# resource telemetry: on/off fingerprints across all four models
+# ---------------------------------------------------------------------------
+
+def _telemetry_config(enabled):
+    return MachineConfig.summit(nodes=2).with_telemetry(enabled)
+
+
+@pytest.mark.parametrize("model", ["charm", "ampi", "openmpi", "charm4py"])
+@pytest.mark.parametrize("placement,size", [("intra", 8), ("inter", 256 * 1024)])
+def test_osu_latency_telemetry_fingerprint(model, placement, size):
+    """Telemetry sampling must not perturb the simulation by a single bit."""
+
+    def fp(telemetry):
+        sess = api.session(_telemetry_config(telemetry)).model(model).build()
+        lat = run_latency(model, size, placement, True, session=sess,
+                          iters=6, skip=2)
+        return {
+            "latency": lat,
+            "now": sess.now,
+            "event_count": sess.sim.event_count,
+            "counters": dict(sess.counters),
+        }
+
+    off, on = fp(False), fp(True)
+    assert on == off
+
+    # the telemetry run actually recorded series (and the off run cannot)
+    sess = api.session(_telemetry_config(True)).model(model).build()
+    run_latency(model, size, placement, True, session=sess, iters=6, skip=2)
+    doc = sess.timeline()
+    assert doc["enabled"] and doc["series"]
+    if size >= 4096:  # tiny messages may bypass the modeled links entirely
+        assert any(name.startswith("link.") for name in doc["series"])
+
+
+@pytest.mark.parametrize("model,seed", [("openmpi", 0), ("ampi", 1)])
+def test_mixed_workload_telemetry_fingerprint(model, seed):
+    plan = make_plan(seed, n_msgs=30)
+
+    def fp(telemetry):
+        sess = api.session(_telemetry_config(telemetry)).model(model).build()
+        payloads, finish = {}, {}
+        done = sess.launch(_make_program(plan, sess.sim, payloads, finish))
+        sess.run_until(done, max_events=50_000_000)
+        return {
+            "payloads": payloads,
+            "finish_times": finish,
+            "now": sess.now,
+            "event_count": sess.sim.event_count,
+            "counters": dict(sess.counters),
+        }
+
+    assert fp(True) == fp(False)
+
+
 @pytest.mark.parametrize("model", ["ampi", "charm4py"])
 def test_osu_bandwidth_fingerprint(model):
     def fp(trace):
