@@ -250,6 +250,39 @@ class TestCommittedBaseline:
                 f"2x faster than direct {direct['sim_time_us']:.1f}us"
             )
 
+    def test_multirail_workloads_pin_striping_win(self):
+        """The multirail ablation triple must be pinned: the striped run
+        beats single-rail (with real per-rail chunk traffic in its
+        counters), and the one-rail-down run falls back to the single-rail
+        fingerprint *bit-exactly* — modeled time, event count and all
+        non-rail counters — with the fallback visible in its counters."""
+        doc = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+        single = doc["entries"].get("bw_ampi_intra_4M_singlerail")
+        striped = doc["entries"].get("bw_ampi_intra_4M_multirail")
+        down = doc["entries"].get("bw_ampi_intra_4M_multirail_raildown")
+        assert single is not None and striped is not None and down is not None, (
+            "bw_ampi_intra_4M_{singlerail,multirail,multirail_raildown} "
+            "missing from the committed baseline — regenerate with: "
+            "python -m repro.bench.baseline record"
+        )
+        # striping: faster clock, higher bandwidth, both rails carrying
+        assert striped["sim_time_us"] < single["sim_time_us"]
+        assert striped["bandwidth_gbs"] > single["bandwidth_gbs"]
+        assert striped["bandwidth_gbs"] > 42.1  # the NVLink-only ceiling
+        assert striped["counters"]["ucx.rail.striped"] > 0
+        assert striped["counters"]["ucx.rail.0.chunks"] > 0
+        assert striped["counters"]["ucx.rail.1.chunks"] > 0
+        assert "ucx.rail.striped" not in single["counters"]
+        # one rail down: graceful, bit-exact fallback to single-rail
+        assert down["sim_time_us"] == single["sim_time_us"]
+        assert down["events"] == single["events"]
+        assert down["bandwidth_gbs"] == single["bandwidth_gbs"]
+        assert down["counters"]["ucx.rail.fallback_single"] > 0
+        assert down["counters"]["ucx.rail.down_excluded"] > 0
+        non_rail = {k: v for k, v in down["counters"].items()
+                    if not k.startswith("ucx.rail")}
+        assert non_rail == single["counters"]
+
     def test_lossy_workload_committed_and_faulted(self):
         """The faulty-link OSU point must be pinned in the committed
         baseline, with actual recovery activity in its fingerprint."""

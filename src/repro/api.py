@@ -191,6 +191,7 @@ class SessionBuilder:
         self._faults = None
         self._collectives: Optional[Dict] = None
         self._memory: Optional[Dict] = None
+        self._multirail: Optional[Dict] = None
 
     def model(self, name: str) -> "SessionBuilder":
         if name not in MODELS:
@@ -250,6 +251,17 @@ class SessionBuilder:
         self._memory = merged
         return self
 
+    def multirail(self, enabled: bool = True, **overrides) -> "SessionBuilder":
+        """Multi-rail striped bulk transfers (``MultirailConfig`` fields):
+        ``max_rails``, ``chunk_bytes``, ``min_bytes``, ``window``,
+        ``graph_launch``.  Default off — ``multirail()`` turns striping on,
+        ``multirail(False)`` pins it off explicitly."""
+        merged = dict(self._multirail or {})
+        merged.update(overrides)
+        merged["enabled"] = enabled
+        self._multirail = merged
+        return self
+
     def pool(self, enabled: bool = True) -> "SessionBuilder":
         """Shorthand: route device allocation through the slab pool (or
         explicitly through the direct allocator with ``pool(False)``)."""
@@ -294,6 +306,9 @@ class SessionBuilder:
             cfg = cfg.with_collectives(**self._collectives)
         if self._memory:
             cfg = cfg.with_memory(**self._memory)
+        if self._multirail is not None:
+            mr = dict(self._multirail)
+            cfg = cfg.with_multirail(mr.pop("enabled", True), **mr)
 
         name = self._model
         charm = None
@@ -326,8 +341,9 @@ def build(
 
     Keyword arguments map to the builder methods: ``nodes``, ``trace``,
     ``flight``, ``telemetry``, ``gdrcopy``, ``faults``, ``collectives``
-    (a dict of ``CollectivesConfig`` overrides), ``n_ranks``,
-    ``ranks_per_pe``, ``n_pes``.
+    (a dict of ``CollectivesConfig`` overrides), ``multirail`` (a bool or a
+    dict of ``MultirailConfig`` overrides), ``n_ranks``, ``ranks_per_pe``,
+    ``n_pes``.
     """
     b = session(config).model(model)
     if "nodes" in kwargs:
@@ -336,6 +352,13 @@ def build(
         b.collectives(**kwargs.pop("collectives"))
     if "memory" in kwargs:
         b.memory(**kwargs.pop("memory"))
+    if "multirail" in kwargs:
+        mr = kwargs.pop("multirail")
+        if isinstance(mr, bool):
+            b.multirail(mr)
+        else:
+            mr = dict(mr)
+            b.multirail(mr.pop("enabled", True), **mr)
     if "trace" in kwargs:
         b.trace(kwargs.pop("trace"))
     if "flight" in kwargs:

@@ -151,10 +151,16 @@ def main(argv: Optional[List[str]] = None) -> None:
                         help="print the congestion-attribution report of the "
                              "largest-size run (top contended links, "
                              "endpoint thrash)")
+    parser.add_argument("--multirail", action="store_true",
+                        help="stripe large transfers across disjoint rails "
+                             "with graph-batched launches (the ablation "
+                             "pairs this sweep against a run without it)")
     args = parser.parse_args(argv)
 
     fault_plan = None
     cfg = MachineConfig.summit(nodes=2)
+    if args.multirail:
+        cfg = cfg.with_multirail()
     if args.fault_plan:
         from repro.faults import FaultPlan
 
@@ -164,6 +170,8 @@ def main(argv: Optional[List[str]] = None) -> None:
     sizes = [s for s in OSU_SIZES if s <= args.max_size]
     variant = "H" if args.host_staging else "D"
     label = f"{args.model}-{variant} ({args.placement}-node)"
+    if args.multirail:
+        label += " +multirail"
     if args.benchmark == "latency":
         series = run_latency_sweep(
             args.model, args.placement, not args.host_staging, sizes, config=cfg

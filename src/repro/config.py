@@ -93,6 +93,12 @@ class CudaConfig:
     ipc_handle_open_cost: float = 80.0e-6
     ipc_cached_open_cost: float = 0.4e-6
     event_record_overhead: float = 0.4e-6
+    # CUDA-graph launch batching (the multirail striped protocols): capturing
+    # the per-chunk copy kernels into one graph pays a single launch of the
+    # whole graph, then a small per-chunk node cost, instead of a full
+    # ``memcpy_launch_overhead`` per chunk.
+    graph_launch_overhead: float = 8.0e-6
+    graph_per_chunk_cost: float = 0.6e-6
 
 
 @dataclass(frozen=True)
@@ -209,12 +215,21 @@ class UcxConfig:
     # closed (dropping its peer mappings) before a new one opens.  ``None``
     # keeps every endpoint forever.
     max_endpoints: Optional[int] = None
+    # Registration-cache capacity pressure: cap on live first-touch peer
+    # mappings.  Beyond it the least-recently-touched mapping is evicted
+    # (``ucx.mapping_evicted``) and a re-touch re-pays ``mapping_cost`` —
+    # the regime rail-striped chunk traffic would otherwise grow without
+    # bound.  ``None`` (default) keeps every mapping forever, bit-identical
+    # to the uncapped model.
+    max_mappings: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mapping_cost < 0.0 or self.ep_setup_cost < 0.0:
             raise ValueError("mapping_cost/ep_setup_cost must be >= 0")
         if self.max_endpoints is not None and self.max_endpoints < 1:
             raise ValueError("max_endpoints must be >= 1 or None")
+        if self.max_mappings is not None and self.max_mappings < 1:
+            raise ValueError("max_mappings must be >= 1 or None")
 
 
 @dataclass(frozen=True)
@@ -264,6 +279,54 @@ class CollectivesConfig:
             raise ValueError(
                 f"ring_chunk must be a positive multiple of 8, got {self.ring_chunk}"
             )
+
+
+@dataclass(frozen=True)
+class MultirailConfig:
+    """Multi-path (multi-rail) striped transfers (``repro.ucx.protocols.
+    multirail`` + ``repro.hardware.rails``).
+
+    When enabled, rendezvous bulk transfers at or above ``min_bytes`` are
+    split into ``chunk_bytes`` chunks striped across the disjoint link
+    paths the :class:`~repro.hardware.rails.RailPlanner` enumerates for the
+    endpoint pair: intra-node device pairs add a second path over the
+    otherwise-idle secondary NVLink bricks through host memory (the
+    CPU-staged sideband of the multi-path CUDA-graphs paper), inter-node
+    pairs stripe across both EDR NIC rails.  Chunks are assigned to rails
+    by a deterministic bandwidth-weighted greedy rule, at most ``window``
+    chunks are in flight per rail, and a completion barrier preserves the
+    single-transfer matching/flight-record semantics.
+
+    Default **off**: no alternate links are built and every transfer takes
+    the seed's single-route path — fingerprints are bit-identical to a
+    config without this section (gated by ``tests/test_multirail.py``).
+    """
+
+    enabled: bool = False
+    #: Paths considered per endpoint pair (>= 2 enables striping; the
+    #: planner may find fewer for a given pair).
+    max_rails: int = 2
+    #: Stripe granularity.  Chunk boundaries never split the transfer:
+    #: the last chunk carries the remainder.
+    chunk_bytes: int = 512 * KB
+    #: Transfers below this stay on the single seed route.
+    min_bytes: int = 1 * MB
+    #: Per-rail in-flight chunk window (back-pressure on queued chunks).
+    window: int = 2
+    #: Batch the per-chunk copy launches into one captured CUDA graph
+    #: (``CudaConfig.graph_launch_overhead`` once + ``graph_per_chunk_cost``
+    #: per chunk) instead of paying ``memcpy_launch_overhead`` per chunk.
+    graph_launch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rails < 1:
+            raise ValueError("max_rails must be >= 1")
+        if self.chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be positive")
+        if self.min_bytes < 1:
+            raise ValueError("min_bytes must be positive")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -363,6 +426,7 @@ class MachineConfig:
     tags: TagConfig = field(default_factory=TagConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     collectives: CollectivesConfig = field(default_factory=CollectivesConfig)
+    multirail: MultirailConfig = field(default_factory=MultirailConfig)
     # Carry real numpy payloads in buffers at/below this size; larger buffers
     # are virtual (size-only).  Keeps paper-scale Jacobi domains cheap.
     payload_materialize_limit: int = 4 * MB
@@ -471,6 +535,14 @@ class MachineConfig:
         """Shorthand for the pool-on/pool-off ablation pair."""
         kind = "pool" if enabled else "direct"
         return self.with_memory(allocator=kind, **overrides)
+
+    def with_multirail(self, enabled: bool = True, **overrides) -> "MachineConfig":
+        """Copy with multi-rail striping toggled plus optional
+        :class:`MultirailConfig` overrides, e.g.
+        ``cfg.with_multirail(chunk_bytes=256 * KB, graph_launch=False)``."""
+        merged = dict(overrides)
+        merged["enabled"] = bool(enabled)
+        return replace(self, multirail=_validated_replace(self.multirail, merged))
 
 
 def _validated_replace(cfg, overrides: dict):

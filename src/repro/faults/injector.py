@@ -88,6 +88,11 @@ class FaultInjector:
                 factor = w.factor
         return factor
 
+    def link_down(self, link_name: str, now: float) -> bool:
+        """True when a factor-0.0 window holds the link down at ``now``
+        (the rail planner's usability probe)."""
+        return self.bandwidth_factor(link_name, now) <= 0.0
+
     # -- forced capability failures ----------------------------------------------
     def ipc_open_fails(self) -> bool:
         """Every CUDA-IPC handle open fails (rendezvous falls back to

@@ -105,7 +105,13 @@ class BandwidthWindow:
     during ``[t0, t1)`` — a congested or degraded-cable interval.  The
     pattern is an :func:`fnmatch.fnmatch` glob over link names as built by
     :mod:`repro.hardware.topology` (e.g. ``"n0.nic*"`` for node 0's NIC
-    rails, ``"*.xbus.*"`` for every X-Bus)."""
+    rails, ``"*.xbus.*"`` for every X-Bus).
+
+    A factor of exactly ``0.0`` marks the matching links **down** for the
+    window: the multirail rail planner excludes rails containing a down
+    link (graceful fallback to the remaining rails), and the link layer
+    raises on any bulk transfer whose regular route traverses one —
+    zero-bandwidth occupancy has no finite completion time."""
 
     pattern: str
     factor: float
@@ -113,8 +119,8 @@ class BandwidthWindow:
     t1: float = _INF
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.factor <= 1.0:
-            raise ValueError(f"factor must be in (0, 1], got {self.factor!r}")
+        if not 0.0 <= self.factor <= 1.0:
+            raise ValueError(f"factor must be in [0, 1], got {self.factor!r}")
         if self.t1 < self.t0:
             raise ValueError(f"window end {self.t1} precedes start {self.t0}")
 
@@ -175,6 +181,20 @@ class FaultPlan:
         return cls(
             seed=seed,
             link_rules=(LinkFaultRule(drop_p=drop_p, kinds=kinds),),
+            **overrides,
+        )
+
+    @classmethod
+    def rail_down(cls, pattern: str, t0: float = 0.0, t1: float = _INF,
+                  seed: int = 0, **overrides) -> "FaultPlan":
+        """One-rail-down plan: links matching ``pattern`` are down (factor
+        0.0) during ``[t0, t1)``.  The multirail rail planner drops rails
+        containing a down link, so striped transfers degrade gracefully to
+        the surviving rails (e.g. ``pattern="n*.nvlalt*"`` downs every
+        secondary NVLink brick, forcing single-rail intra-node traffic)."""
+        return cls(
+            seed=seed,
+            bandwidth_windows=(BandwidthWindow(pattern, 0.0, t0, t1),),
             **overrides,
         )
 

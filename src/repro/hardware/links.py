@@ -108,6 +108,38 @@ class Route(tuple):
 CTRL_BYPASS_BYTES = 512
 
 
+def degraded_bottleneck(
+    ordered: Sequence[Link], injector, now: float
+) -> float:
+    """Bottleneck bandwidth of ``ordered`` under the fault injector's
+    degraded-bandwidth windows, sampled at ``now``.
+
+    This is the **one** place the scaled bottleneck is derived, so the
+    injector branches of :func:`path_transfer` share a single float-sum
+    grouping with each other (the shared-composite-sum contract of
+    ``sim/engine.py``).  ``bandwidth * 1.0`` is exact in IEEE-754, so when
+    every active factor resolves to 1.0 the result is bit-equal to
+    :func:`path_bottleneck` and the caller may reuse the memoized hold.
+
+    A factor of exactly 0.0 marks a link *down* (see
+    ``repro.faults.plan.BandwidthWindow``): the multirail rail planner
+    excludes such rails, and routing bulk traffic over a down link is a
+    modelling error surfaced here rather than a silent divide-by-zero.
+    """
+    bw = min(
+        l.bandwidth * injector.bandwidth_factor(l.name, now) for l in ordered
+    )
+    if bw <= 0.0:
+        down = [l.name for l in ordered
+                if injector.bandwidth_factor(l.name, now) <= 0.0]
+        raise RuntimeError(
+            f"bulk transfer routed over down link(s) {down}: factor-0 "
+            "bandwidth windows mark links down for the rail planner; "
+            "regular routes must not traverse them"
+        )
+    return bw
+
+
 def path_transfer(
     sim: Simulator,
     links: Iterable[Link],
@@ -132,23 +164,24 @@ def path_transfer(
         # route was first resolved (see Machine.route)
         ordered: Sequence[Link] = links.ordered
         if ordered and injector is not None:
-            bw = min(
-                l.bandwidth * injector.bandwidth_factor(l.name, sim.now)
-                for l in ordered
-            )
-            hold = links.latency + size / bw
+            # degraded-bandwidth windows scale per-link rates; the bottleneck
+            # is re-derived from the scaled rates (a degraded fast link can
+            # become the new bottleneck).  Sampled at start-of-transfer.
+            bw = degraded_bottleneck(ordered, injector, sim.now)
+            if bw == links.bottleneck:
+                # every factor resolved to 1.0: the scaled bottleneck is
+                # bit-equal to the memoized one, so the memoized hold IS the
+                # degraded hold (``latency + size/bw`` with identical
+                # operands) — reuse it instead of re-deriving the division
+                hold = links.hold_time(size)
+            else:
+                hold = links.latency + size / bw
         else:
             hold = links.hold_time(size)
     else:
         ordered = sorted(links, key=lambda l: l.link_id)
         if ordered and injector is not None:
-            # degraded-bandwidth windows scale per-link rates; the bottleneck
-            # is re-derived from the scaled rates (a degraded fast link can
-            # become the new bottleneck).  Sampled at start-of-transfer.
-            bw = min(
-                l.bandwidth * injector.bandwidth_factor(l.name, sim.now)
-                for l in ordered
-            )
+            bw = degraded_bottleneck(ordered, injector, sim.now)
             hold = path_latency(ordered) + size / bw
         else:
             hold = path_latency(ordered) + (size / path_bottleneck(ordered) if ordered else 0.0)

@@ -1,0 +1,152 @@
+"""Rail planner: disjoint link paths per (src, dst) pair.
+
+The seed routes one bulk transfer over one :class:`~repro.hardware.links.
+Route` — the single-rail model whose bandwidth ceiling Fig. 12 shows.  The
+planner enumerates the *additional* paths the topology already contains:
+
+* **intra-node device pairs** — besides the direct NVLink(+X-Bus) route,
+  each GPU's secondary NVLink brick reaches host memory, so a second path
+  runs ``src alt-brick -> host memory -> dst alt-brick`` (the CPU-staged
+  sideband of "Accelerating Intra-Node GPU-to-GPU Communication Through
+  Multi-Path Transfers with CUDA Graphs").  Bottleneck: the host-memory
+  trunk (17 GB/s) — striped with the 42.1 GB/s NVLink rail the pair ceiling
+  rises to ~59 GB/s.
+* **intra-node device<->host** — the same alt-brick/host-memory sideband
+  next to the direct NVLink hop.
+* **inter-node pairs** — Summit nodes carry dual-rail EDR InfiniBand with
+  socket-affine HCA binding; the seed route uses one rail pair, the planner
+  adds the other (``2 x 9.32 GB/s``).  Only the NIC segments are striped:
+  the pipelined staging lane already decouples the (shared) GPU links from
+  the wire, so rails stay disjoint.
+
+Rail 0 is always the seed route (``Machine.route`` — the memoized cost
+tables from the fast-engine PR); extra rails are memoized here per
+location pair.  Paths within one rail set share **no** links, so chunks on
+different rails never serialize against each other.
+
+Fault awareness: a rail is *usable* only while every link on it is up —
+a factor-0.0 :class:`~repro.faults.plan.BandwidthWindow` marks links down,
+and :meth:`RailPlanner.usable_rails` drops their rails for the duration
+(graceful fallback to the surviving rails, ultimately single-rail).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.links import Route
+
+__all__ = ["Rail", "RailPlanner"]
+
+
+class Rail:
+    """One disjoint path: its planner-assigned index and memoized route."""
+
+    __slots__ = ("index", "route")
+
+    def __init__(self, index: int, route: Route) -> None:
+        self.index = index
+        self.route = route
+
+    @property
+    def bandwidth(self) -> float:
+        """Static bottleneck bandwidth (the striping weight)."""
+        return self.route.bottleneck
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ",".join(l.name for l in self.route)
+        return f"Rail({self.index}, [{names}], {self.bandwidth / 1e9:.1f}GB/s)"
+
+
+class RailPlanner:
+    """Enumerates (and memoizes) the rail set per location pair."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._cache: Dict[tuple, Tuple[Rail, ...]] = {}
+
+    # -- enumeration ---------------------------------------------------------
+    def rails(self, src, dst) -> Tuple[Rail, ...]:
+        """All disjoint paths from ``src`` to ``dst`` (both
+        :class:`~repro.hardware.topology.Location`), rail 0 first.
+
+        The link graph is static after construction, so the set is memoized
+        per ``(src, dst)`` like ``Machine.route``.  Pairs with no alternate
+        path (same-location copies, same-node host-host) return the single
+        seed rail.
+        """
+        cached = self._cache.get((src, dst))
+        if cached is None:
+            cached = tuple(self._build_rails(src, dst))
+            self._cache[(src, dst)] = cached
+        return cached
+
+    def _build_rails(self, src, dst) -> List[Rail]:
+        machine = self.machine
+        rails = [Rail(0, machine.route(src, dst))]
+        max_rails = machine.cfg.multirail.max_rails
+        if max_rails < 2:
+            return rails
+
+        same_loc = (src.node == dst.node and src.kind is dst.kind
+                    and src.device == dst.device)
+        if same_loc:
+            return rails
+
+        if src.node == dst.node:
+            node = machine.nodes[src.node]
+            if not node.nvlink_alt_tx:  # multirail off: no alternate bricks
+                return rails
+            if src.on_device and dst.on_device:
+                # secondary bricks through the host-memory trunk
+                alt = [
+                    node.nvlink_alt_tx[machine.local_gpu(src.device)],
+                    node.host_mem,
+                    node.nvlink_alt_rx[machine.local_gpu(dst.device)],
+                ]
+            elif src.on_device:
+                alt = [node.nvlink_alt_tx[machine.local_gpu(src.device)],
+                       node.host_mem]
+            elif dst.on_device:
+                alt = [node.host_mem,
+                       node.nvlink_alt_rx[machine.local_gpu(dst.device)]]
+            else:
+                return rails  # host-host same node: one trunk, one rail
+            rails.append(Rail(1, Route(alt)))
+            return rails
+
+        # inter-node: one rail per NIC rail pair, rail 0 the socket-affine
+        # seed choice.  Only the NIC segments stripe (see module docstring),
+        # so the first rail's route here is the NIC slice of the seed route.
+        topo = machine.cfg.topology
+        nic_rails = topo.nic_rails
+        src_node, dst_node = machine.nodes[src.node], machine.nodes[dst.node]
+        src_rail = (machine.socket_of_gpu(src.device)
+                    if src.on_device else src.socket) % nic_rails
+        dst_rail = (machine.socket_of_gpu(dst.device)
+                    if dst.on_device else dst.socket) % nic_rails
+        rails = []
+        for r in range(min(nic_rails, max_rails)):
+            links = [src_node.nic_tx[(src_rail + r) % nic_rails],
+                     dst_node.nic_rx[(dst_rail + r) % nic_rails]]
+            rails.append(Rail(r, Route(links)))
+        return rails
+
+    # -- fault-aware selection -----------------------------------------------
+    def usable_rails(self, src, dst) -> Tuple[Rail, ...]:
+        """The rail set minus any rail with a link currently down (factor
+        0.0).  Without an injector this is exactly :meth:`rails` — the
+        common path stays one dict lookup."""
+        rails = self.rails(src, dst)
+        injector = self.machine.fault_injector
+        if injector is None:
+            return rails
+        now = self.machine.sim.now
+        up = tuple(
+            rail for rail in rails
+            if not any(injector.link_down(l.name, now) for l in rail.route)
+        )
+        if len(up) < len(rails):
+            self.machine.tracer.count("ucx", "rail.down_excluded",
+                                      len(rails) - len(up))
+        return up

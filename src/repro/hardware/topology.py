@@ -86,6 +86,24 @@ class Node:
         self.host_mem = Link(
             sim, cfg.host_mem, name=f"n{index}.hostmem", capacity=cfg.host_mem_channels
         )
+        # Secondary NVLink bricks (multirail only): each V100 drives more
+        # than one brick per neighbour, but the seed's collapsed single-rail
+        # model leaves the extras idle.  The rail planner routes the striped
+        # protocols' second intra-node path over these — down to host memory
+        # and up the peer's secondary brick (the CPU-staged sideband of the
+        # multi-path CUDA-graphs paper).  Built only when multirail is
+        # enabled so disabled configs construct the exact seed link graph.
+        self.nvlink_alt_tx: List[Link] = []
+        self.nvlink_alt_rx: List[Link] = []
+        if machine.cfg.multirail.enabled:
+            self.nvlink_alt_tx = [
+                Link(sim, cfg.nvlink, name=f"n{index}.nvlalt{g}.tx")
+                for g in range(cfg.gpus_per_node)
+            ]
+            self.nvlink_alt_rx = [
+                Link(sim, cfg.nvlink, name=f"n{index}.nvlalt{g}.rx")
+                for g in range(cfg.gpus_per_node)
+            ]
         # per-GPU HBM channel for same-device copies (capacity 2: copy engines)
         self.hbm: List[Link] = [
             Link(sim, cfg.device_mem, name=f"n{index}.hbm{g}", capacity=2)
@@ -138,6 +156,13 @@ class Machine:
             for g, pool in self.pools.items():
                 pool.probe = timeline.pool_probe(g)
         self._route_cache: Dict[tuple, Route] = {}
+        # Multi-path transfer planning (repro.hardware.rails): enumerates
+        # disjoint link paths per (src, dst) pair for the striped protocols.
+        # Constructed lazily-cheap either way; consulted only when
+        # cfg.multirail.enabled.
+        from repro.hardware.rails import RailPlanner
+
+        self.rail_planner = RailPlanner(self)
         # Fault injection: built only for non-empty plans, so empty-plan
         # runs take the exact code paths (and event schedule) of plain runs.
         self.fault_injector = None

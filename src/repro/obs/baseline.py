@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.config import KB, MachineConfig
+from repro.config import KB, MB, MachineConfig
 
 __all__ = [
     "BASELINE_SCHEMA",
@@ -130,6 +130,17 @@ WORKLOADS: Dict[str, Tuple] = {
     # much larger modeled time; the congestion report flags this run as
     # thrashing (gated in benchmarks/test_telemetry_smoke.py).
     "shuffle_ampi_2n_thrash": ("shuffle", "ampi", True, 2, "thrash"),
+    # Multirail striping ablation (PR 10): one 4 MB intra-node AMPI
+    # bandwidth point three ways — single-rail (the Fig. 12 NVLink
+    # ceiling), striped across the alternate-brick/host-memory sideband
+    # with graph-batched launches, and striped with every alternate-brick
+    # link held down by a factor-0.0 fault window (graceful fallback: the
+    # planner excludes the dead rail and the modeled time returns to the
+    # single-rail fingerprint).  The gate asserts the striped run beats
+    # single-rail and the rail-down run matches it.
+    "bw_ampi_intra_4M_singlerail": ("bw_mr", "off"),
+    "bw_ampi_intra_4M_multirail": ("bw_mr", "on"),
+    "bw_ampi_intra_4M_multirail_raildown": ("bw_mr", "raildown"),
 }
 
 _ITERS = 6
@@ -160,6 +171,9 @@ WALLCLOCK_BUDGETS.update(
 # reads its own budget from this table).
 WALLCLOCK_BUDGETS["shuffle_ampi_2n_thrash"] = 60.0
 WALLCLOCK_BUDGETS["soak_telemetry_smoke"] = 120.0
+WALLCLOCK_BUDGETS.update(
+    {name: 60.0 for name in WORKLOADS if name.startswith("bw_")}
+)
 
 #: Shape of the collective baseline points (see the ``coll_*`` workloads).
 _COLL_RANKS = 64
@@ -199,6 +213,37 @@ def _run_shuffle_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
     fp["shuffle_time_us"] = result.total_time * 1e6
     fp["bytes_moved"] = result.bytes_moved
     fp["chunks_moved"] = result.chunks_moved
+    return fp
+
+
+#: Shape of the multirail ablation points (see the ``bw_mr_*`` workloads):
+#: the Fig. 12 peak size, a short windowed loop (enough for the striped
+#: steady state without jacobi-scale wall-clock).
+_BW_MR_SIZE = 4 * MB
+_BW_MR_LOOPS = 2
+_BW_MR_WINDOW = 16
+
+
+def _run_bw_mr_workload(spec: Tuple, config: Optional[MachineConfig]) -> Dict:
+    import repro.api as api
+    from repro.apps.osu.runner import run_bandwidth
+
+    variant = spec[1]
+    cfg = config if config is not None else MachineConfig.summit(nodes=2)
+    cfg = cfg.with_flight(True)
+    if variant != "off":
+        cfg = cfg.with_multirail()
+    if variant == "raildown":
+        from repro.faults import FaultPlan
+
+        # every alternate-brick link down for the whole run: no seed route
+        # traverses them, so only the rail planner sees the outage
+        cfg = cfg.with_faults(FaultPlan.rail_down("n*.nvlalt*"))
+    sess = api.session(cfg).model("ampi").build()
+    bw = run_bandwidth("ampi", _BW_MR_SIZE, "intra", True, session=sess,
+                       loops=_BW_MR_LOOPS, skip=1, window=_BW_MR_WINDOW)
+    fp = sess.baseline_fingerprint()
+    fp["bandwidth_gbs"] = bw / 1e9
     return fp
 
 
@@ -264,6 +309,8 @@ def run_workload(name: str, config: Optional[MachineConfig] = None) -> Dict:
         return _run_coll_workload(spec, config)
     if spec[0] == "shuffle":
         return _run_shuffle_workload(spec, config)
+    if spec[0] == "bw_mr":
+        return _run_bw_mr_workload(spec, config)
     model, size, placement = spec[:3]
     cfg = (config if config is not None else MachineConfig.summit(nodes=2))
     if len(spec) == 4:

@@ -51,7 +51,13 @@ class UcpContext:
         # mapping warm; only real frees (trim, direct free) invalidate.
         self.mapping_cost = self.cfg.mapping_cost
         self.mapping_enabled = self.mapping_cost > 0.0
-        self.map_cache: set = set()
+        # Insertion-ordered dict used as an LRU set: a mapping hit moves its
+        # key to the back when a capacity cap is configured, and overflow
+        # evicts the front (least-recently-touched).  ``max_mappings=None``
+        # never reorders or evicts — behaviour (and fingerprints) identical
+        # to the unbounded set it replaces.
+        self.map_cache: Dict[tuple, None] = {}
+        self.map_limit = self.cfg.max_mappings
         self._map_by_base: Dict[int, set] = {}
         self._map_by_pair: Dict[tuple, set] = {}
         self.ep_setup_cost = self.cfg.ep_setup_cost
@@ -81,9 +87,19 @@ class UcpContext:
         base = self._base_address(buf)
         key = (base, pair)
         if key in self.map_cache:
+            if self.map_limit is not None:
+                # LRU touch — only tracked when a cap can actually evict
+                del self.map_cache[key]
+                self.map_cache[key] = None
             self.machine.tracer.count("ucx", "mapping_hit")
             return 0.0
-        self.map_cache.add(key)
+        if self.map_limit is not None and len(self.map_cache) >= self.map_limit:
+            victim = next(iter(self.map_cache))
+            self._drop_mapping_keys((victim,))
+            self.machine.tracer.count("ucx", "mapping_evicted")
+            if self.telemetry.enabled:
+                self.telemetry.bump("ucx.mapping_evictions")
+        self.map_cache[key] = None
         self._map_by_base.setdefault(base, set()).add(key)
         self._map_by_pair.setdefault(pair, set()).add(key)
         self.machine.tracer.count("ucx", "mapping_new")
@@ -94,7 +110,7 @@ class UcpContext:
 
     def _drop_mapping_keys(self, keys) -> None:
         for key in keys:
-            self.map_cache.discard(key)
+            self.map_cache.pop(key, None)
             base, pair = key
             for index, idx_key in ((self._map_by_base, base),
                                    (self._map_by_pair, pair)):

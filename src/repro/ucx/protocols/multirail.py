@@ -1,0 +1,204 @@
+"""Striped bulk transfers across multiple rails with graph-batched launches.
+
+The rendezvous protocols hand an eligible bulk transfer (multirail enabled,
+size >= ``MultirailConfig.min_bytes``, >= 2 usable rails from the
+:class:`~repro.hardware.rails.RailPlanner`) to :func:`striped_transfer`,
+which
+
+* splits the message into ``chunk_bytes`` chunks (last chunk carries the
+  remainder),
+* assigns chunks to rails with a deterministic bandwidth-weighted greedy
+  rule — each chunk goes to the rail that would finish its share soonest
+  (``(assigned + chunk) / rail_bandwidth``, ties to the lower rail index),
+  so a slow sideband rail only receives work while it actually shortens the
+  critical path,
+* keeps at most ``window`` chunks in flight per rail (queued chunks start
+  from the completion callback of earlier ones), and
+* completes a single barrier event when every chunk has landed — the
+  caller's matching/flight-record/FIN handling is identical to the
+  single-route path.
+
+Launch-cost model (the CUDA-graphs half of the multi-path paper): each
+chunk is a separate copy launch.  Individually launched chunks pay
+``CudaConfig.memcpy_launch_overhead`` per chunk; with
+``MultirailConfig.graph_launch`` the chunks are captured into one CUDA
+graph — a single ``graph_launch_overhead`` up front and the much smaller
+``graph_per_chunk_cost`` per chunk node.  Per-chunk costs ride
+``path_transfer``'s ``extra_time`` (they extend each chunk's link hold, the
+copy-engine occupancy of a kernel-driven chunk), while the one-time graph
+launch delays the first chunk kick without occupying any link.
+
+Determinism: chunk sizes, rail assignment and issue order are pure
+functions of (size, config, rail set); completions fire in simulator event
+order.  Two identical runs interleave chunks identically (pinned by
+``tests/test_multirail.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.links import path_transfer
+from repro.sim.primitives import SimEvent
+
+__all__ = ["plan_striping", "split_chunks", "assign_chunks", "striped_transfer"]
+
+
+def plan_striping(machine, src_loc, dst_loc, size: int):
+    """The usable rail set for this transfer, or ``None`` to stay on the
+    seed's single route.  Counts ``ucx.rail.fallback_single`` when a
+    normally-multirail pair degrades to one rail (links down)."""
+    mr = machine.cfg.multirail
+    if not mr.enabled or size < mr.min_bytes:
+        return None
+    planner = machine.rail_planner
+    if len(planner.rails(src_loc, dst_loc)) < 2:
+        return None  # pair has no alternate path at all
+    usable = planner.usable_rails(src_loc, dst_loc)
+    if len(usable) < 2:
+        machine.tracer.count("ucx", "rail.fallback_single")
+        return None
+    queues = assign_chunks(split_chunks(size, mr.chunk_bytes),
+                           [rail.bandwidth for rail in usable])
+    if sum(1 for q in queues if q) < 2:
+        # greedy keeps every chunk on the fast rail at this size: striping
+        # would only add chunking + launch overhead, so stay on the seed
+        # route (break-even sizes never regress below single-rail)
+        machine.tracer.count("ucx", "rail.single_assigned")
+        return None
+    return usable
+
+
+def split_chunks(size: int, chunk_bytes: int) -> List[int]:
+    """Chunk sizes of one striped transfer (all ``chunk_bytes`` but the
+    remainder-carrying last)."""
+    nchunks = math.ceil(size / chunk_bytes)
+    sizes = [chunk_bytes] * (nchunks - 1)
+    sizes.append(size - chunk_bytes * (nchunks - 1))
+    return sizes
+
+
+def assign_chunks(
+    chunk_sizes: Sequence[int], bandwidths: Sequence[float]
+) -> List[List[int]]:
+    """Greedy bandwidth-weighted assignment: per-rail chunk-size queues.
+
+    Chunks are considered in order; each goes to the rail minimizing
+    ``(assigned + chunk) / bandwidth`` (the rail's finish time with the
+    chunk added), ties to the lower rail index.  A rail slower than the
+    marginal cost of loading rail 0 further receives nothing — striping
+    never loses to the single-rail plan by more than one chunk's
+    granularity.
+    """
+    assigned = [0] * len(bandwidths)
+    queues: List[List[int]] = [[] for _ in bandwidths]
+    for csize in chunk_sizes:
+        best = 0
+        best_t = (assigned[0] + csize) / bandwidths[0]
+        for r in range(1, len(bandwidths)):
+            t = (assigned[r] + csize) / bandwidths[r]
+            if t < best_t:
+                best, best_t = r, t
+        assigned[best] += csize
+        queues[best].append(csize)
+    return queues
+
+
+def launch_costs(cfg, nchunks: int) -> Tuple[float, float]:
+    """(one-time, per-chunk) launch cost under the graph-batching knob."""
+    cuda = cfg.cuda
+    if cfg.multirail.graph_launch:
+        return cuda.graph_launch_overhead, cuda.graph_per_chunk_cost
+    return 0.0, cuda.memcpy_launch_overhead
+
+
+def striped_transfer(
+    sim,
+    machine,
+    rails,
+    size: int,
+    parent_span=None,
+    tag: Optional[int] = None,
+) -> SimEvent:
+    """Move ``size`` bytes across ``rails``; returns the completion barrier.
+
+    Mirrors :func:`~repro.hardware.links.path_transfer`'s contract (one
+    event, succeeds when all data has landed) so rendezvous callers swap it
+    in without touching their completion handling.
+    """
+    cfg = machine.cfg
+    mr = cfg.multirail
+    tracer = machine.tracer
+    telem = sim.telemetry
+
+    chunk_sizes = split_chunks(size, mr.chunk_bytes)
+    queues = assign_chunks(chunk_sizes, [rail.bandwidth for rail in rails])
+    upfront, per_chunk = launch_costs(cfg, len(chunk_sizes))
+
+    tracer.count("ucx", "rail.striped")
+    for r, (rail, queue) in enumerate(zip(rails, queues)):
+        if queue:
+            tracer.count("ucx", f"rail.{rail.index}.chunks", len(queue))
+            tracer.count("ucx", f"rail.{rail.index}.bytes", sum(queue))
+    if telem is not None:
+        telem.bump("ucx.rail.striped_transfers")
+
+    barrier = SimEvent(sim, name="multirail_barrier")
+    remaining = [len(chunk_sizes)]
+
+    def _chunk_landed() -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            barrier.succeed(None)
+
+    def _run_rail(rail, queue: List[int]) -> None:
+        if tracer.enabled:
+            rail_sp = tracer.span(
+                "ucx.rail", f"rail{rail.index}", parent=parent_span,
+                rail=rail.index, chunks=len(queue), bytes=sum(queue), tag=tag,
+            )
+        else:
+            rail_sp = None
+        state = {"next": 0, "live": 0}
+
+        def _done(_ev) -> None:
+            state["live"] -= 1
+            if telem is not None:
+                telem.sample(f"ucx.rail.{rail.index}.inflight_chunks",
+                             state["live"], "chunks")
+            _chunk_landed()
+            if state["next"] < len(queue):
+                _issue()
+            elif state["live"] == 0 and rail_sp is not None:
+                rail_sp.end()
+
+        def _issue() -> None:
+            # chunks beyond the in-flight window start from completion
+            # callbacks, bounding queued link acquisitions per rail
+            while state["next"] < len(queue) and state["live"] < mr.window:
+                csize = queue[state["next"]]
+                state["next"] += 1
+                state["live"] += 1
+                if telem is not None:
+                    telem.sample(f"ucx.rail.{rail.index}.inflight_chunks",
+                                 state["live"], "chunks")
+                with tracer.under(rail_sp):
+                    done = path_transfer(sim, rail.route, csize,
+                                         extra_time=per_chunk)
+                done.add_callback(_done)
+
+        _issue()
+
+    def _start() -> None:
+        for rail, queue in zip(rails, queues):
+            if queue:
+                _run_rail(rail, queue)
+
+    if upfront > 0.0:
+        # graph capture+launch happens once, before any chunk kicks; it is
+        # driver work and occupies no link
+        sim.schedule(upfront, _start)
+    else:
+        _start()
+    return barrier

@@ -28,6 +28,7 @@ from repro.hardware.memory import Buffer
 from repro.obs.tracing import NULL_SPAN
 from repro.ucx.constants import CTRL_MSG_BYTES
 from repro.ucx.protocols.cuda_ipc import ipc_setup_cost
+from repro.ucx.protocols.multirail import plan_striping, striped_transfer
 from repro.ucx.protocols.pipeline import (
     pipeline_chunks,
     pipeline_extra_time,
@@ -194,6 +195,26 @@ def start_transfer(
     else:
         route = machine.route(src_loc, dst_loc)
 
+    # Multi-rail striping (default off).  Eligible lanes hand the bulk to
+    # the striped engine over the rail set sampled here, at commit time
+    # (like the bandwidth windows, sampled at start-of-transfer).  The GDR
+    # lane is excluded — its route shares the endpoints' NVLink hops, which
+    # capacity-1 serialize any chunks — as is the ipc_fallback path (a
+    # degraded mode, kept on the seed route).  For the pipelined lane the
+    # rails are the NIC pairs of the staged host endpoints, matching the
+    # single-rail bulk route above.
+    stripe_rails = None
+    if machine.cfg.multirail.enabled and not ipc_fallback:
+        if pipelined:
+            stripe_rails = plan_striping(
+                machine,
+                machine.host_location(src_loc.node, src_sock),
+                machine.host_location(dst_loc.node, dst_sock),
+                msg.size,
+            )
+        elif not (inter_node and any_device):
+            stripe_rails = plan_striping(machine, src_loc, dst_loc, msg.size)
+
     tracer = machine.tracer
     flight = tracer.flight
     if tracer.enabled or flight.enabled:
@@ -211,6 +232,8 @@ def start_transfer(
         attrs = {"size": msg.size, "tag": msg.tag, "lane": lane}
         if pipelined or ipc_fallback:
             attrs["chunks"] = pipeline_chunks(machine.cfg, msg.size)
+        if stripe_rails is not None:
+            attrs["rails"] = len(stripe_rails)
         sp = tracer.span("ucx.rndv", "rndv_fetch", parent=posted.req.span, **attrs)
     else:
         sp = NULL_SPAN
@@ -221,7 +244,11 @@ def start_transfer(
         if tracer.enabled:
             wire_sp[0] = tracer.span("link", "rndv_data", parent=sp,
                                      tag=msg.tag, bytes=msg.size)
-        done = path_transfer(sim, route, msg.size)
+        if stripe_rails is not None:
+            done = striped_transfer(sim, machine, stripe_rails, msg.size,
+                                    parent_span=wire_sp[0], tag=msg.tag)
+        else:
+            done = path_transfer(sim, route, msg.size)
         done.add_callback(_data_arrived)
 
     def _data_arrived(_ev) -> None:

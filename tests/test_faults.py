@@ -62,7 +62,11 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="precedes"):
             LinkFaultRule(t0=2.0, t1=1.0)
         with pytest.raises(ValueError, match="factor"):
-            BandwidthWindow("x", 0.0)
+            BandwidthWindow("x", -0.1)
+        with pytest.raises(ValueError, match="factor"):
+            BandwidthWindow("x", 1.5)
+        # factor 0.0 is valid: it marks the link *down* (rail-fault model)
+        assert BandwidthWindow("x", 0.0).factor == 0.0
         with pytest.raises(ValueError, match="retry_timeout"):
             FaultPlan(retry_timeout=0.0)
         with pytest.raises(ValueError, match="retry_backoff"):

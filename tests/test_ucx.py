@@ -509,3 +509,117 @@ class TestPoolFreeHooks:
         assert out["reused"] is True
         assert out["hits"] == 1
         assert out["invalidations"] == 0
+
+
+class TestChunkedMappingAccounting:
+    """First-touch mapping for chunked/striped protocols keys on the BASE
+    allocation: moving one buffer in many chunks (pipeline staging chunks,
+    multirail stripes) charges the (base, peer-pair) mapping exactly once."""
+
+    def _transfer(self, m, wa, wb, src, dst, size, tag=1):
+        wb.tag_recv_nb(dst, size, tag=tag)
+        wa.tag_send_nb(wa.ep(1), src, size, tag=tag)
+        m.sim.run()
+
+    def test_pipelined_multi_chunk_maps_once(self):
+        from repro.ucx.protocols.pipeline import pipeline_chunks
+
+        cfg = MachineConfig.summit(nodes=2).with_ucx(mapping_cost=1e-5)
+        gpn = cfg.topology.gpus_per_node
+        # device -> remote host: the pipelined lane stages ONE device
+        # buffer through many bounce chunks
+        m, ctx, wa, wb = make_pair(config=cfg, gpus=(0, gpn))
+        size = 4 * MB
+        assert pipeline_chunks(cfg, size) > 1
+        src = m.alloc_device(0, size)
+        dst = m.alloc_host(1, size)
+        self._transfer(m, wa, wb, src, dst, size)
+        assert m.tracer.counters["ucx.mapping_new"] == 1
+
+    def test_striped_chunks_do_not_multiply_mappings(self):
+        def news(cfg):
+            m, ctx, wa, wb = make_pair(config=cfg, gpus=(0, 1))
+            size = 4 * MB
+            src = m.alloc_device(0, size)
+            dst = m.alloc_device(1, size)
+            self._transfer(m, wa, wb, src, dst, size)
+            return (m.tracer.counters["ucx.mapping_new"],
+                    m.tracer.counters.get("ucx.rail.striped", 0))
+
+        base = MachineConfig.summit(nodes=1).with_ucx(mapping_cost=1e-5)
+        single_news, single_striped = news(base)
+        striped_news, striped_striped = news(base.with_multirail())
+        assert single_striped == 0 and striped_striped == 1
+        # 8 chunks over 2 rails, same two first touches (src via the IPC
+        # open, dst registered back for the FIN'd direct copy)
+        assert striped_news == single_news == 2
+
+
+class TestMappingLRUCap:
+    """``max_mappings``: LRU cap on the first-touch mapping cache (default
+    unlimited = bit-identical to the uncapped dict it replaces)."""
+
+    def _machine(self, max_mappings=None):
+        cfg = (MachineConfig.summit(nodes=1)
+               .with_ucx(mapping_cost=1e-5, max_mappings=max_mappings))
+        m = Machine(cfg)
+        return m, UcpContext(m)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_mappings"):
+            MachineConfig.summit(nodes=1).with_ucx(max_mappings=0)
+
+    def test_eviction_counter_and_recharge(self):
+        m, ctx = self._machine(max_mappings=2)
+        bufs = [m.alloc_device(0, KB) for _ in range(3)]
+        for b in bufs:
+            assert ctx.mapping_charge(b, 0, 1) > 0.0
+        # the third insert evicted the least-recently-touched first entry
+        assert m.tracer.counters["ucx.mapping_evicted"] == 1
+        assert len(ctx.map_cache) == 2
+        # the evicted mapping re-charges on its next touch (and evicts the
+        # next LRU victim to make room)
+        assert ctx.mapping_charge(bufs[0], 0, 1) > 0.0
+        assert m.tracer.counters["ucx.mapping_evicted"] == 2
+        assert m.tracer.counters["ucx.mapping_new"] == 4
+
+    def test_lru_touch_protects_hot_mappings(self):
+        m, ctx = self._machine(max_mappings=2)
+        a, b, c = (m.alloc_device(0, KB) for _ in range(3))
+        ctx.mapping_charge(a, 0, 1)
+        ctx.mapping_charge(b, 0, 1)
+        # touch `a`: now `b` is the LRU victim
+        assert ctx.mapping_charge(a, 0, 1) == 0.0
+        ctx.mapping_charge(c, 0, 1)
+        assert ctx.mapping_charge(a, 0, 1) == 0.0   # survived
+        assert ctx.mapping_charge(b, 0, 1) > 0.0    # was evicted
+
+    def test_eviction_drops_secondary_indexes(self):
+        m, ctx = self._machine(max_mappings=1)
+        a, b = m.alloc_device(0, KB), m.alloc_device(0, KB)
+        ctx.mapping_charge(a, 0, 1)
+        ctx.mapping_charge(b, 0, 1)  # evicts a's mapping
+        assert len(ctx.map_cache) == 1
+        assert len(ctx._map_by_base) == 1
+        # freeing the evicted buffer is a clean no-op for the cache
+        m.free_device(a)
+        assert len(ctx.map_cache) == 1
+
+    def test_unlimited_default_bit_identical_to_uncapped(self):
+        """A cap that never bites (huge) must not shift any modeled
+        quantity vs. the default-unlimited run — the LRU touch reorders
+        the dict but changes no cost."""
+
+        def fingerprint(max_mappings):
+            cfg = (MachineConfig.summit(nodes=1)
+                   .with_ucx(mapping_cost=1e-5, max_mappings=max_mappings))
+            m, ctx, wa, wb = make_pair(config=cfg)
+            for tag in range(4):
+                src = m.alloc_device(0, 256 * KB)
+                dst = m.alloc_device(1, 256 * KB)
+                wb.tag_recv_nb(dst, 256 * KB, tag=tag)
+                wa.tag_send_nb(wa.ep(1), src, 256 * KB, tag=tag)
+                m.sim.run()
+            return m.sim.now, m.sim.event_count, dict(m.tracer.counters)
+
+        assert fingerprint(None) == fingerprint(1 << 30)
